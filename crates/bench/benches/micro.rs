@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks for the hot paths of the reproduction:
+//! balance-point solving, the fluid `T_n` estimator, a full DES Figure 7
+//! cell, B-tree operations, partition hand-out, and plan enumeration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use xprs::{PolicyKind, XprsSystem};
+use xprs_optimizer::cost::{CostModel, RelInfo};
+use xprs_optimizer::enumerate::{enumerate, PlanShape};
+use xprs_optimizer::Query;
+use xprs_scheduler::balance::balance_point;
+use xprs_scheduler::fluid::tn_estimate;
+use xprs_scheduler::{IoKind, MachineConfig, TaskId, TaskProfile};
+use xprs_storage::partition::PagePartition;
+use xprs_storage::{BTreeIndex, TupleId};
+use xprs_workload::WorkloadKind;
+
+fn bench_balance_point(c: &mut Criterion) {
+    let m = MachineConfig::paper_default();
+    let io = TaskProfile::new(TaskId(0), 20.0, 65.0, IoKind::Sequential);
+    let cpu = TaskProfile::new(TaskId(1), 20.0, 8.0, IoKind::Sequential);
+    c.bench_function("balance_point/interference_corrected", |b| {
+        b.iter(|| balance_point(black_box(&io), black_box(&cpu), &m))
+    });
+}
+
+fn bench_tn_estimate(c: &mut Criterion) {
+    let m = MachineConfig::paper_default();
+    let tasks = xprs_bench::paper_workload(WorkloadKind::RandomMix, 42);
+    c.bench_function("fluid/tn_estimate_10_tasks", |b| {
+        b.iter(|| tn_estimate(&m, black_box(&tasks)))
+    });
+}
+
+fn bench_des_fig7_cell(c: &mut Criterion) {
+    let sys = XprsSystem::paper_default();
+    let tasks = xprs_bench::paper_workload(WorkloadKind::Extreme, 42);
+    c.bench_function("des/extreme_with_adj_10_tasks", |b| {
+        b.iter(|| sys.simulate(black_box(&tasks), PolicyKind::InterWithAdj).elapsed)
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    c.bench_function("btree/insert_10k", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let mut idx = BTreeIndex::new(false);
+                for k in 0..10_000 {
+                    idx.insert(k, TupleId { block: k as u64, slot: 0 });
+                }
+                idx
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut idx = BTreeIndex::new(false);
+    for k in 0..100_000 {
+        idx.insert(k, TupleId { block: k as u64, slot: 0 });
+    }
+    c.bench_function("btree/lookup_in_100k", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            black_box(idx.lookup(k))
+        })
+    });
+    c.bench_function("btree/range_1k_of_100k", |b| {
+        b.iter(|| black_box(idx.range(40_000, 40_999)))
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    c.bench_function("page_partition/hand_out_4k_pages_8_workers", |b| {
+        b.iter_batched(
+            || PagePartition::new(4096, 8),
+            |mut p| {
+                let mut n = 0u64;
+                loop {
+                    let mut any = false;
+                    for slot in 0..8 {
+                        if p.next_page(slot).is_some() {
+                            n += 1;
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let mut b = Query::join();
+    for i in 0..5 {
+        b = b.rel(&format!("r{i}"), 1.0);
+    }
+    for i in 0..4 {
+        b = b.on(i, i + 1);
+    }
+    let q = b.build();
+    let rels: Vec<RelInfo> = (0..5)
+        .map(|i| RelInfo {
+            n_tuples: 5_000.0 * (i as f64 + 1.0),
+            n_blocks: 300.0,
+            n_distinct: 1_000.0,
+            selectivity: 1.0,
+            has_index: true,
+            clustered: false,
+        })
+        .collect();
+    let model = CostModel::paper_default();
+    c.bench_function("optimizer/enumerate_bushy_5rel_beam4", |b| {
+        b.iter(|| enumerate(black_box(&q), &rels, &model, PlanShape::Bushy, 4).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_balance_point, bench_tn_estimate, bench_des_fig7_cell, bench_btree,
+              bench_partition, bench_enumerate
+}
+criterion_main!(benches);

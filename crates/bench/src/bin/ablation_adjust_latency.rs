@@ -1,0 +1,73 @@
+//! Ablation: cost of the adjustment protocol.
+//!
+//! The paper's adjustment mechanism is viable *because* shared-memory
+//! message rounds are cheap. This harness sweeps the protocol latency from
+//! free to shared-nothing-network territory and measures INTER-W/-ADJ on
+//! the Extreme workload; as the protocol gets slower its advantage decays
+//! toward (and past) the no-adjustment variant.
+
+use xprs_bench::{header, mean, row};
+use xprs_disk::{DiskParams, RelId};
+use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
+use xprs_scheduler::intra::IntraOnly;
+use xprs_scheduler::{MachineConfig, SchedulePolicy};
+use xprs_sim::{SimConfig, SimTask, Simulator};
+use xprs_workload::{WorkloadConfig, WorkloadGenerator, WorkloadKind};
+
+fn tasks_for(seed: u64) -> Vec<(SimTask, f64)> {
+    let params = DiskParams::paper_default();
+    WorkloadGenerator::new()
+        .generate(&WorkloadConfig::paper(WorkloadKind::Extreme, seed))
+        .profiles()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (SimTask::from_profile(p, RelId(i as u64 + 1), &params), 0.0))
+        .collect()
+}
+
+fn measure(policy_of: &dyn Fn() -> Box<dyn SchedulePolicy>, latency: f64, seeds: &[u64]) -> f64 {
+    let cfg = SimConfig { machine: MachineConfig::paper_default(), adjust_latency: latency };
+    let xs: Vec<f64> = seeds
+        .iter()
+        .map(|&s| {
+            let mut p = policy_of();
+            Simulator::new(cfg.clone()).run(p.as_mut(), &tasks_for(s)).elapsed
+        })
+        .collect();
+    mean(&xs)
+}
+
+fn main() {
+    let m = MachineConfig::paper_default();
+    let seeds: Vec<u64> = (1..=10).collect();
+    println!("# Ablation — adjustment-protocol latency (Extreme workload, DES, {} seeds)", seeds.len());
+    println!();
+
+    let with_adj: Box<dyn Fn() -> Box<dyn SchedulePolicy>> = {
+        let m = m.clone();
+        Box::new(move || Box::new(AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m.clone()))))
+    };
+    let intra: Box<dyn Fn() -> Box<dyn SchedulePolicy>> = {
+        let m = m.clone();
+        Box::new(move || Box::new(IntraOnly::new(m.clone(), true)))
+    };
+
+    let baseline = measure(&intra, 0.005, &seeds);
+    println!("INTRA-ONLY baseline: {baseline:6.2} s");
+    println!();
+    header(&["protocol latency", "INTER-W/-ADJ elapsed (s)", "win vs INTRA-ONLY"]);
+    for latency in [0.0, 0.005, 0.05, 0.5, 2.0, 5.0] {
+        let t = measure(&with_adj, latency, &seeds);
+        row(&[
+            format!("{:>7} ms", (latency * 1000.0) as u64),
+            format!("{t:6.2}"),
+            format!("{:+5.1}%", 100.0 * (1.0 - t / baseline)),
+        ]);
+    }
+    println!();
+    println!(
+        "Shared-memory rounds (≤ 5 ms) leave the win intact; at shared-nothing network \
+         costs (hundreds of ms to seconds) the dynamic adjustment stops paying — the \
+         paper's argument for why this design needs a shared-memory machine."
+    );
+}

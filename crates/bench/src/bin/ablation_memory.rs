@@ -1,0 +1,80 @@
+//! Section 5 future work, implemented: memory-constrained scheduling.
+//!
+//! "We cannot run two hashjoins in parallel unless there is enough memory
+//! for both hash tables." Each task carries a shared-memory footprint; the
+//! scheduler pairs tasks only when their combined footprint fits. This
+//! harness gives every Extreme-workload task a footprint and sweeps the
+//! machine's memory from unconstrained down to single-task territory: the
+//! INTER-W/-ADJ advantage decays to INTRA-ONLY exactly as pairing becomes
+//! impossible.
+
+use xprs_bench::{header, mean, paper_workload, row};
+use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
+use xprs_scheduler::fluid::FluidSim;
+use xprs_scheduler::intra::IntraOnly;
+use xprs_scheduler::{MachineConfig, TaskProfile};
+use xprs_workload::WorkloadKind;
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Give each task a footprint proportional to its sequential time — the
+/// longer the scan, the bigger the hash table it would feed.
+fn with_footprints(tasks: Vec<TaskProfile>) -> Vec<TaskProfile> {
+    tasks.into_iter().map(|t| { let m = t.seq_time * 1.5 * MB; t.with_memory(m) }).collect()
+}
+
+fn main() {
+    let seeds: Vec<u64> = (1..=10).collect();
+    println!("# Ablation — memory-constrained pairing (Section 5 future work)");
+    println!();
+    println!(
+        "Extreme workload, fluid engine, {} seeds; task footprints 3–30 MB \
+         (1.5 MB per second of sequential work).",
+        seeds.len()
+    );
+    println!();
+
+    let mut base = MachineConfig::paper_default();
+    base.memory = f64::INFINITY;
+    let intra_mean = {
+        let sim = FluidSim::new(base.clone());
+        let xs: Vec<f64> = seeds
+            .iter()
+            .map(|&s| {
+                let tasks = with_footprints(paper_workload(WorkloadKind::Extreme, s));
+                let mut p = IntraOnly::new(base.clone(), true);
+                sim.run(&mut p, &tasks).elapsed
+            })
+            .collect();
+        mean(&xs)
+    };
+    println!("INTRA-ONLY baseline (memory-independent: one task at a time): {intra_mean:6.2} s");
+    println!();
+    header(&["machine memory", "INTER-W/-ADJ elapsed (s)", "win vs INTRA-ONLY"]);
+    for budget in [f64::INFINITY, 64.0 * MB, 40.0 * MB, 24.0 * MB, 12.0 * MB, 4.0 * MB] {
+        let mut m = base.clone();
+        m.memory = budget;
+        let sim = FluidSim::new(m.clone());
+        let xs: Vec<f64> = seeds
+            .iter()
+            .map(|&s| {
+                let tasks = with_footprints(paper_workload(WorkloadKind::Extreme, s));
+                let mut p = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m.clone()));
+                sim.run(&mut p, &tasks).elapsed
+            })
+            .collect();
+        let t = mean(&xs);
+        let label = if budget.is_infinite() {
+            "unconstrained".to_string()
+        } else {
+            format!("{:4.0} MB", budget / MB)
+        };
+        row(&[label, format!("{t:6.2}"), format!("{:+5.1}%", 100.0 * (1.0 - t / intra_mean))]);
+    }
+    println!();
+    println!(
+        "With plenty of memory every worthwhile pair runs; as the budget shrinks the \
+         scheduler first substitutes smaller partners, then runs tasks one at a time — \
+         the elapsed time converges to the INTRA-ONLY baseline instead of thrashing."
+    );
+}

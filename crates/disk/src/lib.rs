@@ -1,0 +1,30 @@
+//! # xprs-disk
+//!
+//! The striped disk-array model of the XPRS testbed.
+//!
+//! XPRS stripes every relation block-by-block, round-robin, across the disk
+//! array to expose maximum I/O bandwidth. The paper measured each disk (after
+//! file-system overhead) at three service regimes:
+//!
+//! | regime            | rate (I/Os per second) | when |
+//! |-------------------|------------------------|------|
+//! | sequential        | 97                     | one backend reading a relation's blocks in stripe order |
+//! | almost sequential | 60                     | several backends of *one* task reading a striped relation — slightly unordered |
+//! | random            | 35                     | index-scan pointer chasing, or the head seeking between the block streams of *different* tasks |
+//!
+//! This crate provides the per-disk service-time classification
+//! ([`DiskState`]), the round-robin striping arithmetic ([`StripedLayout`])
+//! and aggregated array statistics ([`ArrayStats`]). It deliberately owns no
+//! clock and no queues: the discrete-event simulator (`xprs-sim`) and the
+//! threaded executor (`xprs-executor`) each impose their own notion of time
+//! on the same physics, so the interference effect the paper's Section 2.3
+//! models — two interleaved sequential scans degrading the array toward its
+//! random bandwidth — *emerges* in both engines rather than being assumed.
+
+pub mod array;
+pub mod model;
+pub mod stripe;
+
+pub use array::{ArrayStats, DiskArrayModel};
+pub use model::{DiskParams, DiskState, IoRequest, RelId, ServiceClass, WorkerId};
+pub use stripe::StripedLayout;

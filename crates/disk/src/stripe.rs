@@ -1,0 +1,100 @@
+//! Round-robin block striping arithmetic.
+//!
+//! XPRS stripes every relation sequentially, block by block, across the disk
+//! array: global block `b` lives on disk `b mod D` at local position
+//! `b div D`. All address translation between a relation's global block
+//! numbers and per-disk local blocks goes through [`StripedLayout`].
+
+/// Round-robin striping over `n_disks` disks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripedLayout {
+    n_disks: u32,
+}
+
+impl StripedLayout {
+    /// A layout over `n_disks` disks (must be at least 1).
+    pub fn new(n_disks: u32) -> Self {
+        assert!(n_disks >= 1, "a disk array needs at least one disk");
+        StripedLayout { n_disks }
+    }
+
+    /// Number of disks in the array.
+    pub fn n_disks(&self) -> u32 {
+        self.n_disks
+    }
+
+    /// The disk holding global block `block`.
+    pub fn disk_of(&self, block: u64) -> u32 {
+        (block % self.n_disks as u64) as u32
+    }
+
+    /// The local block index of global block `block` on its disk.
+    pub fn local_block(&self, block: u64) -> u64 {
+        block / self.n_disks as u64
+    }
+
+    /// Inverse mapping: the global block at `(disk, local)`.
+    pub fn global_block(&self, disk: u32, local: u64) -> u64 {
+        local * self.n_disks as u64 + disk as u64
+    }
+
+    /// How many of a relation's first `n_blocks` blocks land on `disk`.
+    pub fn blocks_on_disk(&self, n_blocks: u64, disk: u32) -> u64 {
+        debug_assert!(disk < self.n_disks);
+        let d = self.n_disks as u64;
+        let full = n_blocks / d;
+        let extra = if (n_blocks % d) > disk as u64 { 1 } else { 0 };
+        full + extra
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_mapping() {
+        let s = StripedLayout::new(4);
+        assert_eq!(s.disk_of(0), 0);
+        assert_eq!(s.disk_of(5), 1);
+        assert_eq!(s.disk_of(7), 3);
+        assert_eq!(s.local_block(0), 0);
+        assert_eq!(s.local_block(5), 1);
+        assert_eq!(s.local_block(8), 2);
+    }
+
+    #[test]
+    fn global_is_inverse_of_local() {
+        let s = StripedLayout::new(4);
+        for b in 0..1000u64 {
+            assert_eq!(s.global_block(s.disk_of(b), s.local_block(b)), b);
+        }
+    }
+
+    #[test]
+    fn block_counts_per_disk_partition_the_relation() {
+        let s = StripedLayout::new(4);
+        for n in [0u64, 1, 3, 4, 7, 100, 101, 102, 103] {
+            let sum: u64 = (0..4).map(|d| s.blocks_on_disk(n, d)).sum();
+            assert_eq!(sum, n);
+            // Balanced to within one block.
+            let counts: Vec<u64> = (0..4).map(|d| s.blocks_on_disk(n, d)).collect();
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn single_disk_degenerates_to_identity() {
+        let s = StripedLayout::new(1);
+        assert_eq!(s.disk_of(42), 0);
+        assert_eq!(s.local_block(42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_rejected() {
+        StripedLayout::new(0);
+    }
+}

@@ -1,0 +1,456 @@
+//! The master backend: runs queries under a scheduling policy.
+//!
+//! The master owns the clock and the policy. For every optimized query it
+//! compiles the plan into fragment programs, announces runnable fragments to
+//! the policy as they become ready (roots first, consumers as their
+//! producers finish), applies `Start` actions by spawning slave-backend
+//! threads, and applies `Adjust` actions by running the Section 2.4
+//! protocols on the shared partition state and staffing any newly created
+//! worker slots.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use xprs_optimizer::OptimizedQuery;
+use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
+use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
+use xprs_storage::partition::{PagePartition, RangePartition};
+use xprs_storage::Catalog;
+
+use crate::io::{Machine, MachineStats};
+use crate::program::{compile, Driver, Materialized};
+use crate::worker::{run_worker, FragCtx, PartitionState, RelBinding};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Machine model (processors, disks, service rates).
+    pub machine: MachineConfig,
+    /// Wall seconds per simulated second; `0.0` = run at full speed.
+    pub scale: f64,
+    /// CPU seconds charged per tuple examined.
+    pub cpu_tuple: f64,
+    /// Shared buffer-pool frames (0 disables buffering). The paper's
+    /// workloads scan relations far larger than memory, so the default is a
+    /// modest pool that cannot cache a whole scan.
+    pub bufpool_pages: usize,
+}
+
+impl ExecConfig {
+    /// Functional-testing configuration: paper machine, no throttling.
+    pub fn unthrottled() -> Self {
+        ExecConfig {
+            machine: MachineConfig::paper_default(),
+            scale: 0.0,
+            cpu_tuple: 0.25e-3,
+            bufpool_pages: 512,
+        }
+    }
+
+    /// Demonstration configuration running `speedup`× faster than real time.
+    pub fn scaled(speedup: f64) -> Self {
+        assert!(speedup > 0.0);
+        ExecConfig {
+            machine: MachineConfig::paper_default(),
+            scale: 1.0 / speedup,
+            cpu_tuple: 0.25e-3,
+            bufpool_pages: 512,
+        }
+    }
+}
+
+/// One query to execute: the optimizer's output plus concrete selection
+/// ranges for each of the query's relations.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// Optimized plan with fragment estimates.
+    pub optimized: OptimizedQuery,
+    /// Per-relation inclusive selection range on `a` (aligned with the
+    /// query's relation list).
+    pub bindings: Vec<RelBinding>,
+}
+
+/// Result of one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The root fragment's output, sorted by key.
+    pub rows: Arc<Materialized>,
+    /// Wall-clock seconds from run start to query completion.
+    pub finished_at: f64,
+}
+
+/// Result of a whole run.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// Per-query results, in submission order.
+    pub results: Vec<QueryResult>,
+    /// Machine statistics (I/O class mix).
+    pub stats: MachineStats,
+    /// Total wall-clock seconds.
+    pub wall: f64,
+    /// Per-fragment `(task, start, finish)` wall times.
+    pub fragment_times: Vec<(TaskId, f64, f64)>,
+}
+
+enum FragStatus {
+    Blocked,
+    Ready,
+    Running(Arc<FragCtx>),
+    Done,
+}
+
+struct FragSlot {
+    profile: TaskProfile,
+    program: crate::program::FragmentProgram,
+    bindings: Vec<RelBinding>,
+    /// Global indices of producer fragments.
+    deps: Vec<usize>,
+    /// Per-query-local index of each producer (pipeline ops refer to these).
+    local_deps: Vec<usize>,
+    query: usize,
+    is_root: bool,
+    status: FragStatus,
+    output: Option<Arc<Materialized>>,
+    started_at: f64,
+    finished_at: f64,
+}
+
+/// The multi-threaded XPRS executor.
+pub struct Executor {
+    cfg: ExecConfig,
+    catalog: Arc<Catalog>,
+}
+
+impl Executor {
+    /// An executor over `catalog` with configuration `cfg`.
+    pub fn new(cfg: ExecConfig, catalog: Arc<Catalog>) -> Self {
+        Executor { cfg, catalog }
+    }
+
+    /// Execute `queries` under `policy`; blocks until all are complete.
+    ///
+    /// # Panics
+    /// Panics if a compiled program disagrees with the optimizer's fragment
+    /// decomposition, or if the policy wedges.
+    pub fn run(&self, queries: &[QueryRun], policy: &mut dyn SchedulePolicy) -> ExecReport {
+        let machine = Arc::new(Machine::with_pool(&self.cfg.machine, self.cfg.scale, self.cfg.bufpool_pages));
+        let (tx, rx) = unbounded::<usize>();
+        let t0 = Instant::now();
+
+        // Build the global fragment table.
+        let mut frags: Vec<FragSlot> = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            let ps = compile(&q.optimized.plan);
+            let fs = &q.optimized.fragments;
+            assert_eq!(
+                ps.programs.len(),
+                fs.fragments.len(),
+                "query {qi}: compiled programs disagree with the fragment decomposition"
+            );
+            let base = frags.len();
+            let n = ps.programs.len();
+            for (fi, program) in ps.programs.into_iter().enumerate() {
+                let mut a = program.deps.clone();
+                let mut b = fs.dag.deps_of(fi).to_vec();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "query {qi} fragment {fi}: dependency mismatch");
+                let mut profile = fs.fragments[fi].profile.clone();
+                profile.id = TaskId((qi as u64) << 32 | fi as u64);
+                frags.push(FragSlot {
+                    profile,
+                    local_deps: program.deps.clone(),
+                    deps: program.deps.iter().map(|d| base + d).collect(),
+                    program,
+                    bindings: q.bindings.clone(),
+                    query: qi,
+                    is_root: fi == n - 1,
+                    status: FragStatus::Blocked,
+                    output: None,
+                    started_at: 0.0,
+                    finished_at: 0.0,
+                });
+            }
+        }
+
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut done_count = 0usize;
+
+        // Announce the roots of every query.
+        let now = |t0: Instant| t0.elapsed().as_secs_f64();
+        for f in frags.iter_mut().filter(|f| f.deps.is_empty()) {
+            f.status = FragStatus::Ready;
+            policy.on_arrival(now(t0), f.profile.clone());
+        }
+        self.decide(policy, &mut frags, &machine, &tx, &mut handles, t0);
+
+        while done_count < frags.len() {
+            let gid = rx.recv().expect("worker channel closed prematurely");
+            let t_done = now(t0);
+            // Finalize: harvest the output, free the context.
+            let ctx = match std::mem::replace(&mut frags[gid].status, FragStatus::Done) {
+                FragStatus::Running(ctx) => ctx,
+                other => {
+                    frags[gid].status = other;
+                    panic!("completion message for non-running fragment {gid}");
+                }
+            };
+            let rows = std::mem::take(&mut *ctx.out.lock());
+            frags[gid].output = Some(Arc::new(Materialized::build(rows)));
+            frags[gid].finished_at = t_done;
+            done_count += 1;
+            policy.on_finish(t_done, frags[gid].profile.id);
+
+            // Promote consumers whose producers are now all done.
+            for i in 0..frags.len() {
+                if matches!(frags[i].status, FragStatus::Blocked)
+                    && frags[i].deps.iter().all(|&d| matches!(frags[d].status, FragStatus::Done))
+                {
+                    frags[i].status = FragStatus::Ready;
+                    policy.on_arrival(t_done, frags[i].profile.clone());
+                }
+            }
+            self.decide(policy, &mut frags, &machine, &tx, &mut handles, t0);
+        }
+
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+
+        let wall = now(t0);
+        let results = queries
+            .iter()
+            .enumerate()
+            .map(|(qi, _)| {
+                let root = frags
+                    .iter()
+                    .find(|f| f.query == qi && f.is_root)
+                    .expect("every query has a root fragment");
+                QueryResult {
+                    rows: root.output.clone().expect("root finished"),
+                    finished_at: root.finished_at,
+                }
+            })
+            .collect();
+        ExecReport {
+            results,
+            stats: machine.stats(),
+            wall,
+            fragment_times: frags
+                .iter()
+                .map(|f| (f.profile.id, f.started_at, f.finished_at))
+                .collect(),
+        }
+    }
+
+    fn decide(
+        &self,
+        policy: &mut dyn SchedulePolicy,
+        frags: &mut [FragSlot],
+        machine: &Arc<Machine>,
+        tx: &Sender<usize>,
+        handles: &mut Vec<std::thread::JoinHandle<()>>,
+        t0: Instant,
+    ) {
+        let now = t0.elapsed().as_secs_f64();
+        for _round in 0..32 {
+            let snapshot: Vec<RunningTask> = frags
+                .iter()
+                .filter_map(|f| match &f.status {
+                    FragStatus::Running(ctx) => {
+                        let total = ctx.total_units.max(1) as f64;
+                        let done = ctx.units_done.load(Ordering::Relaxed) as f64;
+                        Some(RunningTask {
+                            profile: f.profile.clone(),
+                            parallelism: ctx.target_parallelism.load(Ordering::Relaxed) as f64,
+                            remaining_seq_time: f.profile.seq_time * (1.0 - done / total).max(0.0),
+                        })
+                    }
+                    _ => None,
+                })
+                .collect();
+            let actions = policy.decide(now, &snapshot);
+            if actions.is_empty() {
+                return;
+            }
+            for a in actions {
+                let gid = frags
+                    .iter()
+                    .position(|f| f.profile.id == a.task())
+                    .unwrap_or_else(|| panic!("policy referenced unknown task {}", a.task()));
+                match a {
+                    Action::Start { parallelism, .. } => {
+                        self.start_fragment(frags, gid, parallelism, machine, tx, handles, t0)
+                    }
+                    Action::Adjust { parallelism, .. } => {
+                        self.adjust_fragment(frags, gid, parallelism, machine, handles)
+                    }
+                }
+            }
+        }
+        panic!("policy {} did not reach a fixpoint in 32 rounds", policy.name());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_fragment(
+        &self,
+        frags: &mut [FragSlot],
+        gid: usize,
+        parallelism: f64,
+        machine: &Arc<Machine>,
+        tx: &Sender<usize>,
+        handles: &mut Vec<std::thread::JoinHandle<()>>,
+        t0: Instant,
+    ) {
+        assert!(
+            matches!(frags[gid].status, FragStatus::Ready),
+            "policy started fragment {gid} in the wrong state"
+        );
+        let x = to_workers(parallelism, self.cfg.machine.n_procs);
+
+        // Materialized inputs, keyed by query-local fragment index.
+        let inputs: HashMap<usize, Arc<Materialized>> = frags[gid]
+            .local_deps
+            .iter()
+            .zip(frags[gid].deps.iter())
+            .map(|(&local, &dep)| {
+                (local, frags[dep].output.clone().expect("producer finished before consumer"))
+            })
+            .collect();
+
+        // Partition state + work-unit count per driver.
+        let (partition, total_units) = match frags[gid].program.driver {
+            Driver::PageScan { rel } => {
+                let relation = self
+                    .catalog
+                    .get(&frags[gid].bindings[rel].name)
+                    .unwrap_or_else(|| panic!("unknown relation {}", frags[gid].bindings[rel].name));
+                let n = relation.heap.n_blocks();
+                (PartitionState::Page(PagePartition::new(n, x)), n)
+            }
+            Driver::KeyScan { rel } => {
+                let binding = &frags[gid].bindings[rel];
+                let relation = self
+                    .catalog
+                    .get(&binding.name)
+                    .unwrap_or_else(|| panic!("unknown relation {}", binding.name));
+                let s = relation.stats();
+                let lo = binding.pred.0.max(s.min_a) as i64;
+                let hi = binding.pred.1.min(s.max_a) as i64;
+                range_partition(lo, hi, x)
+            }
+            Driver::KeyDomain => {
+                // Intersection of the materialized inputs' key ranges.
+                let mut lo = i64::MIN;
+                let mut hi = i64::MAX;
+                for op in &frags[gid].program.ops {
+                    if let Some(dep) = op.dep() {
+                        let m = &inputs[&dep];
+                        lo = lo.max(m.min_key().map_or(i64::MAX, |k| k as i64));
+                        hi = hi.min(m.max_key().map_or(i64::MIN, |k| k as i64));
+                    }
+                }
+                range_partition(lo, hi, x)
+            }
+        };
+
+        let ctx = Arc::new(FragCtx {
+            gid,
+            program: frags[gid].program.clone(),
+            rels: frags[gid].bindings.clone(),
+            inputs,
+            partition: Mutex::new(partition),
+            exited_slots: Mutex::new(Vec::new()),
+            units_done: AtomicU64::new(0),
+            total_units,
+            out: Mutex::new(Vec::new()),
+            target_parallelism: AtomicU32::new(x),
+            done: AtomicBool::new(false),
+            done_tx: tx.clone(),
+            cpu_tuple: self.cfg.cpu_tuple,
+        });
+        frags[gid].started_at = t0.elapsed().as_secs_f64();
+        frags[gid].status = FragStatus::Running(ctx.clone());
+
+        if total_units == 0 {
+            // Nothing to scan (empty relation or empty key intersection):
+            // complete immediately through the normal channel.
+            if !ctx.done.swap(true, Ordering::SeqCst) {
+                let _ = tx.send(gid);
+            }
+            return;
+        }
+        for slot in 0..x as usize {
+            handles.push(spawn_worker(ctx.clone(), slot, machine, &self.catalog));
+        }
+    }
+
+    fn adjust_fragment(
+        &self,
+        frags: &mut [FragSlot],
+        gid: usize,
+        parallelism: f64,
+        machine: &Arc<Machine>,
+        handles: &mut Vec<std::thread::JoinHandle<()>>,
+    ) {
+        let FragStatus::Running(ctx) = &frags[gid].status else {
+            // The fragment finished in the window between the snapshot and
+            // this action; the adjustment is moot.
+            return;
+        };
+        let x = to_workers(parallelism, self.cfg.machine.n_procs);
+        ctx.target_parallelism.store(x, Ordering::Relaxed);
+        let (info, active) = {
+            let mut p = ctx.partition.lock();
+            match &mut *p {
+                PartitionState::Page(pp) => (pp.adjust(x), pp.active_slots()),
+                PartitionState::Range(rp) => (rp.adjust(x), rp.active_slots()),
+            }
+        };
+        for slot in info.new_slots {
+            handles.push(spawn_worker(ctx.clone(), slot, machine, &self.catalog));
+        }
+        // Re-staff previously drained slots that the new assignment handed
+        // fresh work (the idle-worker hazard).
+        let mut exited = ctx.exited_slots.lock();
+        let respawn: Vec<usize> = exited
+            .iter()
+            .copied()
+            .filter(|s| active.contains(s))
+            .collect();
+        exited.retain(|s| !respawn.contains(s));
+        drop(exited);
+        for slot in respawn {
+            handles.push(spawn_worker(ctx.clone(), slot, machine, &self.catalog));
+        }
+    }
+}
+
+fn spawn_worker(
+    ctx: Arc<FragCtx>,
+    slot: usize,
+    machine: &Arc<Machine>,
+    catalog: &Arc<Catalog>,
+) -> std::thread::JoinHandle<()> {
+    let machine = machine.clone();
+    let catalog = catalog.clone();
+    std::thread::spawn(move || run_worker(ctx, slot, machine, catalog))
+}
+
+fn range_partition(lo: i64, hi: i64, x: u32) -> (PartitionState, u64) {
+    if lo > hi {
+        // Empty domain; a trivial partition that yields nothing.
+        (PartitionState::Range(RangePartition::new(0, 0, 1)), 0)
+    } else {
+        let total = (hi - lo + 1) as u64;
+        (PartitionState::Range(RangePartition::new(lo, hi, x)), total)
+    }
+}
+
+fn to_workers(x: f64, n_procs: u32) -> u32 {
+    (x.round() as i64).clamp(1, n_procs as i64) as u32
+}

@@ -1,0 +1,245 @@
+//! The slave backend: one worker thread executing its share of a fragment.
+//!
+//! Workers never receive control messages. All coordination happens through
+//! the shared partition state (Section 2.4): a worker asks for its next page
+//! or key under the partition mutex, and the answer reflects any adjustment
+//! the master has applied — including "you are retired" (`None`). This is
+//! the shared-memory, low-communication-cost design the paper credits for
+//! making dynamic parallelism adjustment cheap.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use xprs_storage::partition::{PagePartition, RangePartition};
+use xprs_storage::{Catalog, Relation, Tuple};
+
+use crate::io::Machine;
+use crate::program::{Driver, FragmentProgram, Materialized, PipelineOp};
+
+/// Per-query-relation execution binding: catalog name plus the concrete
+/// selection range on `a` the query applies.
+#[derive(Debug, Clone)]
+pub struct RelBinding {
+    /// Catalog relation name.
+    pub name: String,
+    /// Inclusive selection range on attribute `a`.
+    pub pred: (i32, i32),
+}
+
+impl RelBinding {
+    fn admits(&self, key: i32) -> bool {
+        key >= self.pred.0 && key <= self.pred.1
+    }
+}
+
+/// The shared partition behind the fragment's mutex.
+pub(crate) enum PartitionState {
+    /// Page-partitioned scan.
+    Page(PagePartition),
+    /// Range-partitioned scan / key-domain walk.
+    Range(RangePartition),
+}
+
+/// Shared state of one running fragment.
+pub(crate) struct FragCtx {
+    /// Global fragment index (across all queries of the run).
+    pub gid: usize,
+    /// The compiled pipeline.
+    pub program: FragmentProgram,
+    /// Bindings for the owning query's relations.
+    pub rels: Vec<RelBinding>,
+    /// Materialized inputs, keyed by per-query fragment index.
+    pub inputs: HashMap<usize, Arc<Materialized>>,
+    /// The Section 2.4 partition state.
+    pub partition: Mutex<PartitionState>,
+    /// Slots whose worker thread has exited (may be re-staffed on adjust).
+    pub exited_slots: Mutex<Vec<usize>>,
+    /// Completed work units (pages or keys).
+    pub units_done: AtomicU64,
+    /// Total work units.
+    pub total_units: u64,
+    /// Result rows.
+    pub out: Mutex<Vec<(i32, Tuple)>>,
+    /// Current target parallelism (for the solo-stream I/O flag).
+    pub target_parallelism: AtomicU32,
+    /// Completion latch (the done message fires exactly once).
+    pub done: AtomicBool,
+    /// Master notification channel.
+    pub done_tx: Sender<usize>,
+    /// CPU seconds charged per tuple examined.
+    pub cpu_tuple: f64,
+}
+
+impl FragCtx {
+    fn solo(&self) -> bool {
+        self.target_parallelism.load(Ordering::Relaxed) == 1
+    }
+
+    fn input(&self, dep: usize) -> &Materialized {
+        self.inputs
+            .get(&dep)
+            .unwrap_or_else(|| panic!("fragment {} missing materialized input {dep}", self.gid))
+    }
+
+    fn relation<'c>(&self, catalog: &'c Catalog, rel: usize) -> &'c Relation {
+        let name = &self.rels[rel].name;
+        catalog
+            .get(name)
+            .unwrap_or_else(|| panic!("relation {name} vanished from the catalog"))
+    }
+
+    /// Record one finished unit; fire the completion message on the last.
+    fn finish_unit(&self) {
+        let done = self.units_done.fetch_add(1, Ordering::SeqCst) + 1;
+        debug_assert!(done <= self.total_units);
+        if done == self.total_units && !self.done.swap(true, Ordering::SeqCst) {
+            let _ = self.done_tx.send(self.gid);
+        }
+    }
+}
+
+enum Unit {
+    Page(u64),
+    Key(i64),
+}
+
+/// Worker main loop for slot `slot` of the fragment.
+pub(crate) fn run_worker(
+    ctx: Arc<FragCtx>,
+    slot: usize,
+    machine: Arc<Machine>,
+    catalog: Arc<Catalog>,
+) {
+    let wid = machine.new_worker_id();
+    loop {
+        let unit = {
+            let mut p = ctx.partition.lock();
+            match &mut *p {
+                PartitionState::Page(pp) => pp.next_page(slot).map(Unit::Page),
+                PartitionState::Range(rp) => rp.next_key(slot).map(Unit::Key),
+            }
+        };
+        let Some(unit) = unit else { break };
+        match unit {
+            Unit::Page(page) => scan_page(&ctx, &machine, &catalog, wid, page),
+            Unit::Key(key) => scan_key(&ctx, &machine, &catalog, wid, key),
+        }
+        ctx.finish_unit();
+    }
+    ctx.exited_slots.lock().push(slot);
+}
+
+/// Page-scan driver: read one heap page, filter, run the pipeline.
+fn scan_page(
+    ctx: &FragCtx,
+    machine: &Machine,
+    catalog: &Catalog,
+    wid: xprs_disk::WorkerId,
+    page: u64,
+) {
+    let Driver::PageScan { rel } = ctx.program.driver else {
+        unreachable!("page unit on a non-page driver");
+    };
+    let relation = ctx.relation(catalog, rel);
+    machine.read(relation.heap.rel(), page, wid, ctx.solo());
+    let p = relation.heap.page(page);
+    machine.compute(p.n_tuples() as f64 * ctx.cpu_tuple);
+    for (_, tuple) in p.iter() {
+        let Some(key) = tuple.get(0).as_int() else { continue };
+        if ctx.rels[rel].admits(key) {
+            pipeline(ctx, machine, catalog, wid, key, tuple.clone(), 0);
+        }
+    }
+}
+
+/// Key driver: one key of a range-partitioned index scan or key-domain walk.
+fn scan_key(
+    ctx: &FragCtx,
+    machine: &Machine,
+    catalog: &Catalog,
+    wid: xprs_disk::WorkerId,
+    key: i64,
+) {
+    let key = key as i32;
+    match ctx.program.driver {
+        Driver::KeyScan { rel } => {
+            let relation = ctx.relation(catalog, rel);
+            let idx = relation
+                .index_on_a
+                .as_ref()
+                .unwrap_or_else(|| panic!("index scan over unindexed {}", relation.name));
+            let postings = idx.lookup(key);
+            machine.compute(postings.len().max(1) as f64 * ctx.cpu_tuple);
+            for &tid in postings {
+                // Unclustered posting dereference: a random heap-page read.
+                machine.read(relation.heap.rel(), tid.block, wid, false);
+                let tuple = relation
+                    .heap
+                    .fetch(tid)
+                    .unwrap_or_else(|| panic!("dangling tid {tid} in {}", relation.name))
+                    .clone();
+                pipeline(ctx, machine, catalog, wid, key, tuple, 0);
+            }
+        }
+        Driver::KeyDomain => {
+            machine.compute(ctx.cpu_tuple);
+            pipeline(ctx, machine, catalog, wid, key, Tuple::from_values(vec![]), 0);
+        }
+        Driver::PageScan { .. } => unreachable!("key unit on a page driver"),
+    }
+}
+
+/// Apply pipeline operators `depth..` to `(key, tuple)`.
+fn pipeline(
+    ctx: &FragCtx,
+    machine: &Machine,
+    catalog: &Catalog,
+    wid: xprs_disk::WorkerId,
+    key: i32,
+    tuple: Tuple,
+    depth: usize,
+) {
+    let Some(op) = ctx.program.ops.get(depth) else {
+        ctx.out.lock().push((key, tuple));
+        return;
+    };
+    match op {
+        PipelineOp::ProbeHash { dep } | PipelineOp::MergeWith { dep } => {
+            for row in ctx.input(*dep).matches(key) {
+                pipeline(ctx, machine, catalog, wid, key, tuple.join(row), depth + 1);
+            }
+        }
+        PipelineOp::NestInner { dep } => {
+            // A genuine nested loop: every inner row is examined.
+            let inner = ctx.input(*dep);
+            machine.compute(inner.rows.len() as f64 * ctx.cpu_tuple * 0.1);
+            for (k2, row) in &inner.rows {
+                if *k2 == key {
+                    pipeline(ctx, machine, catalog, wid, key, tuple.join(row), depth + 1);
+                }
+            }
+        }
+        PipelineOp::MergeIndexed { rel } => {
+            if !ctx.rels[*rel].admits(key) {
+                return;
+            }
+            let relation = ctx.relation(catalog, *rel);
+            let idx = relation
+                .index_on_a
+                .as_ref()
+                .unwrap_or_else(|| panic!("merge-indexed over unindexed {}", relation.name));
+            for &tid in idx.lookup(key) {
+                machine.read(relation.heap.rel(), tid.block, wid, false);
+                let row = relation
+                    .heap
+                    .fetch(tid)
+                    .unwrap_or_else(|| panic!("dangling tid {tid} in {}", relation.name))
+                    .clone();
+                pipeline(ctx, machine, catalog, wid, key, tuple.join(&row), depth + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! End-to-end executor tests: real threads, real data, results checked
+//! against a naive reference evaluator.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use xprs_disk::StripedLayout;
+use xprs_executor::{ExecConfig, Executor, QueryRun, RelBinding};
+use xprs_optimizer::{Costing, Query, TwoPhaseOptimizer};
+use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
+use xprs_scheduler::intra::IntraOnly;
+use xprs_scheduler::{MachineConfig, SchedulePolicy};
+use xprs_storage::{Catalog, Datum, Schema, Tuple};
+
+/// Deterministic pseudo-random stream.
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+/// Catalog with three relations of different shapes, indexed on `a`.
+fn catalog() -> Arc<Catalog> {
+    let mut cat = Catalog::new(StripedLayout::new(4));
+    let mut seed = 0xD1CE_u64;
+    for (name, n, key_mod, blen) in [
+        ("fat", 400u64, 100u64, 800usize),  // few tuples per page → IO-heavy scan
+        ("thin", 3000, 150, 16),            // many tuples per page → CPU-heavy scan
+        ("mid", 1200, 120, 120),
+    ] {
+        cat.create(name, Schema::paper_rel());
+        let rows: Vec<Tuple> = (0..n)
+            .map(|_| {
+                let a = (lcg(&mut seed) % key_mod) as i32;
+                Tuple::from_values(vec![Datum::Int(a), Datum::Text("x".repeat(blen))])
+            })
+            .collect();
+        cat.load(name, rows);
+        cat.build_index(name, false);
+    }
+    Arc::new(cat)
+}
+
+/// Reference: selection result as a multiset of keys.
+fn ref_selection(cat: &Catalog, name: &str, pred: (i32, i32)) -> HashMap<i32, usize> {
+    let mut out = HashMap::new();
+    for (_, t) in cat.get(name).unwrap().heap.scan() {
+        let a = t.get(0).as_int().unwrap();
+        if a >= pred.0 && a <= pred.1 {
+            *out.entry(a).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Reference: natural-join-on-`a` cardinality per key across relations.
+fn ref_join(cat: &Catalog, specs: &[(&str, (i32, i32))]) -> HashMap<i32, usize> {
+    let mut acc: Option<HashMap<i32, usize>> = None;
+    for (name, pred) in specs {
+        let h = ref_selection(cat, name, *pred);
+        acc = Some(match acc {
+            None => h,
+            Some(prev) => {
+                let mut next = HashMap::new();
+                for (k, c) in prev {
+                    if let Some(c2) = h.get(&k) {
+                        next.insert(k, c * c2);
+                    }
+                }
+                next
+            }
+        });
+    }
+    acc.unwrap()
+}
+
+fn result_multiset(rows: &xprs_executor::Materialized) -> HashMap<i32, usize> {
+    let mut out = HashMap::new();
+    for (k, _) in &rows.rows {
+        *out.entry(*k).or_insert(0) += 1;
+    }
+    out
+}
+
+fn optimizer() -> TwoPhaseOptimizer {
+    TwoPhaseOptimizer::paper_default()
+}
+
+fn run_one(
+    cat: &Arc<Catalog>,
+    q: &Query,
+    bindings: Vec<RelBinding>,
+    costing: Costing,
+    policy: &mut dyn SchedulePolicy,
+) -> xprs_executor::ExecReport {
+    let optimized = optimizer().optimize_catalog(cat, q, costing);
+    let exec = Executor::new(ExecConfig::unthrottled(), cat.clone());
+    exec.run(&[QueryRun { optimized, bindings }], policy)
+}
+
+fn m() -> MachineConfig {
+    MachineConfig::paper_default()
+}
+
+#[test]
+fn parallel_selection_matches_reference() {
+    let cat = catalog();
+    let q = Query::selection("thin", 0.4);
+    let bindings = vec![RelBinding { name: "thin".into(), pred: (0, 59) }];
+    let mut policy = IntraOnly::new(m(), true);
+    let report = run_one(&cat, &q, bindings, Costing::SeqCost, &mut policy);
+    let got = result_multiset(&report.results[0].rows);
+    let want = ref_selection(&cat, "thin", (0, 59));
+    assert_eq!(got, want);
+    assert!(report.stats.reads > 0);
+}
+
+#[test]
+fn two_way_join_matches_reference() {
+    let cat = catalog();
+    let q = Query::join().rel("fat", 1.0).rel("thin", 1.0).on(0, 1).build();
+    let bindings = vec![
+        RelBinding { name: "fat".into(), pred: (i32::MIN, i32::MAX) },
+        RelBinding { name: "thin".into(), pred: (i32::MIN, i32::MAX) },
+    ];
+    let mut policy = IntraOnly::new(m(), true);
+    let report = run_one(&cat, &q, bindings, Costing::SeqCost, &mut policy);
+    let got = result_multiset(&report.results[0].rows);
+    let want = ref_join(&cat, &[("fat", (i32::MIN, i32::MAX)), ("thin", (i32::MIN, i32::MAX))]);
+    assert_eq!(got, want);
+}
+
+#[test]
+fn three_way_join_under_every_policy_agrees() {
+    let cat = catalog();
+    let q = Query::join()
+        .rel("fat", 1.0)
+        .rel("thin", 1.0)
+        .rel("mid", 1.0)
+        .on(0, 1)
+        .on(1, 2)
+        .build();
+    let bindings = vec![
+        RelBinding { name: "fat".into(), pred: (i32::MIN, i32::MAX) },
+        RelBinding { name: "thin".into(), pred: (i32::MIN, i32::MAX) },
+        RelBinding { name: "mid".into(), pred: (i32::MIN, i32::MAX) },
+    ];
+    let want = ref_join(
+        &cat,
+        &[
+            ("fat", (i32::MIN, i32::MAX)),
+            ("thin", (i32::MIN, i32::MAX)),
+            ("mid", (i32::MIN, i32::MAX)),
+        ],
+    );
+    for costing in [Costing::SeqCost, Costing::ParCost] {
+        let mut intra = IntraOnly::new(m(), true);
+        let mut with_adj = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
+        let mut no_adj = AdaptiveScheduler::new(AdaptiveConfig::without_adjustment(m()));
+        let policies: Vec<&mut dyn SchedulePolicy> = vec![&mut intra, &mut with_adj, &mut no_adj];
+        for policy in policies {
+            let report = run_one(&cat, &q, bindings.clone(), costing, policy);
+            let got = result_multiset(&report.results[0].rows);
+            assert_eq!(got, want, "policy result mismatch under {costing:?}");
+        }
+    }
+}
+
+#[test]
+fn selective_join_with_predicates() {
+    let cat = catalog();
+    let q = Query::join().rel("mid", 0.5).rel("thin", 0.3).on(0, 1).build();
+    let bindings = vec![
+        RelBinding { name: "mid".into(), pred: (0, 59) },
+        RelBinding { name: "thin".into(), pred: (20, 80) },
+    ];
+    let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
+    let report = run_one(&cat, &q, bindings, Costing::ParCost, &mut policy);
+    let got = result_multiset(&report.results[0].rows);
+    let want = ref_join(&cat, &[("mid", (0, 59)), ("thin", (20, 80))]);
+    assert_eq!(got, want);
+    // Keys outside the intersection of predicates cannot appear.
+    assert!(got.keys().all(|k| (20..=59).contains(k)));
+}
+
+#[test]
+fn multi_query_run_returns_each_querys_rows() {
+    let cat = catalog();
+    let mk = |name: &str, pred: (i32, i32)| {
+        let q = Query::selection(name, 1.0);
+        let optimized = optimizer().optimize_catalog(&cat, &q, Costing::SeqCost);
+        QueryRun { optimized, bindings: vec![RelBinding { name: name.into(), pred }] }
+    };
+    let runs = vec![mk("fat", (0, 49)), mk("thin", (0, 9)), mk("mid", (100, 119))];
+    let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
+    let exec = Executor::new(ExecConfig::unthrottled(), cat.clone());
+    let report = exec.run(&runs, &mut policy);
+    assert_eq!(report.results.len(), 3);
+    assert_eq!(result_multiset(&report.results[0].rows), ref_selection(&cat, "fat", (0, 49)));
+    assert_eq!(result_multiset(&report.results[1].rows), ref_selection(&cat, "thin", (0, 9)));
+    assert_eq!(result_multiset(&report.results[2].rows), ref_selection(&cat, "mid", (100, 119)));
+}
+
+#[test]
+fn empty_selection_completes() {
+    let cat = catalog();
+    let q = Query::selection("thin", 0.01);
+    // Predicate range matching nothing.
+    let bindings = vec![RelBinding { name: "thin".into(), pred: (100_000, 100_001) }];
+    let mut policy = IntraOnly::new(m(), true);
+    let report = run_one(&cat, &q, bindings, Costing::SeqCost, &mut policy);
+    assert!(report.results[0].rows.rows.is_empty());
+}
+
+#[test]
+fn throttled_run_still_produces_correct_results() {
+    // A fast throttle (2000× real time) exercises the sleep paths without
+    // slowing the suite; correctness must be unaffected.
+    let cat = catalog();
+    let q = Query::join().rel("fat", 1.0).rel("thin", 1.0).on(0, 1).build();
+    let bindings = vec![
+        RelBinding { name: "fat".into(), pred: (i32::MIN, i32::MAX) },
+        RelBinding { name: "thin".into(), pred: (i32::MIN, i32::MAX) },
+    ];
+    let optimized = optimizer().optimize_catalog(&cat, &q, Costing::ParCost);
+    let exec = Executor::new(ExecConfig::scaled(2000.0), cat.clone());
+    let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
+    let report = exec.run(&[QueryRun { optimized, bindings }], &mut policy);
+    let got = result_multiset(&report.results[0].rows);
+    let want = ref_join(&cat, &[("fat", (i32::MIN, i32::MAX)), ("thin", (i32::MIN, i32::MAX))]);
+    assert_eq!(got, want);
+    assert!(report.wall > 0.0);
+    assert!(report.stats.disk.total() > 0);
+}

@@ -1,0 +1,256 @@
+//! Join-order enumeration: System-R dynamic programming over relation
+//! subsets, in left-deep-only or bushy mode, carrying a beam of candidate
+//! plans per subset.
+//!
+//! Conventional DP keeps one best plan per subset (local pruning). Under
+//! `parcost` local pruning is unsound — the parallel cost of a plan depends
+//! on the shape of the *entire* fragment set — so the enumerator keeps the
+//! `beam` cheapest (by `seqcost`) plans per subset and lets the caller
+//! re-rank the surviving complete plans with whatever cost function it
+//! wants. `beam = 1` recovers the classic algorithm.
+
+use crate::cost::{CostModel, Costed, RelInfo};
+use crate::plan::Plan;
+use crate::query::Query;
+
+/// Which tree shapes the enumerator may produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanShape {
+    /// Every join's right input is a base relation (\[HONG91\]).
+    LeftDeep,
+    /// Arbitrary binary trees (joins of joins) — Section 4.
+    Bushy,
+}
+
+/// A candidate plan with its cost annotation.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The plan.
+    pub plan: Plan,
+    /// Cost annotation (root).
+    pub costed: Costed,
+}
+
+/// Enumerate plans for `q`, returning up to `beam` complete candidates in
+/// ascending `seqcost` order.
+///
+/// # Panics
+/// Panics if the query fails validation — enumeration over a malformed
+/// query would silently produce wrong plans.
+pub fn enumerate(
+    q: &Query,
+    rels: &[RelInfo],
+    model: &CostModel,
+    shape: PlanShape,
+    beam: usize,
+) -> Vec<Candidate> {
+    q.validate().unwrap_or_else(|e| panic!("invalid query: {e}"));
+    assert!(beam >= 1, "beam must keep at least one plan");
+    let n = q.n_rels();
+    let full = q.full_set();
+
+    // best[s] = beam of candidates covering subset s.
+    let mut best: Vec<Vec<Candidate>> = vec![Vec::new(); (full as usize) + 1];
+
+    // Base relations: sequential scan, plus index scan when available.
+    for i in 0..n {
+        let mut cands = Vec::new();
+        let scan = Plan::SeqScan { rel: i };
+        cands.push(Candidate { costed: model.cost_plan(&scan, rels), plan: scan });
+        if rels[i].has_index {
+            let iscan = Plan::IndexScan { rel: i };
+            cands.push(Candidate { costed: model.cost_plan(&iscan, rels), plan: iscan });
+        }
+        keep_beam(&mut cands, beam);
+        best[1usize << i] = cands;
+    }
+
+    // Subsets in increasing popcount order.
+    let mut subsets: Vec<u32> = (1..=full).filter(|s| s.count_ones() >= 2).collect();
+    subsets.sort_by_key(|s| s.count_ones());
+
+    for &s in &subsets {
+        let mut cands: Vec<Candidate> = Vec::new();
+        // Enumerate splits s = l ∪ r. Iterate proper non-empty subsets l of
+        // s; to avoid duplicates consider each unordered split once (l < r
+        // numerically) — join operators distinguish sides themselves.
+        let mut l = (s.wrapping_sub(1)) & s;
+        while l != 0 {
+            let r = s & !l;
+            if l < r {
+                try_split(q, rels, model, shape, &best, l, r, &mut cands);
+            }
+            l = (l.wrapping_sub(1)) & s;
+        }
+        keep_beam(&mut cands, beam);
+        best[s as usize] = cands;
+    }
+
+    best[full as usize].clone()
+}
+
+/// Enumerate and return only the cheapest complete plan by `seqcost`.
+pub fn enumerate_best(
+    q: &Query,
+    rels: &[RelInfo],
+    model: &CostModel,
+    shape: PlanShape,
+) -> Candidate {
+    enumerate(q, rels, model, shape, 1)
+        .into_iter()
+        .next()
+        .expect("a validated query always has at least one plan")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_split(
+    q: &Query,
+    rels: &[RelInfo],
+    model: &CostModel,
+    shape: PlanShape,
+    best: &[Vec<Candidate>],
+    l: u32,
+    r: u32,
+    out: &mut Vec<Candidate>,
+) {
+    if !q.graph.connects(l, r) {
+        return; // no predicate: would be a cross product
+    }
+    if shape == PlanShape::LeftDeep && l.count_ones() > 1 && r.count_ones() > 1 {
+        return;
+    }
+    for (a, b) in [(l, r), (r, l)] {
+        if shape == PlanShape::LeftDeep && b.count_ones() > 1 {
+            continue; // right input must be a base relation
+        }
+        for left in &best[a as usize] {
+            for right in &best[b as usize] {
+                for plan in join_methods(&left.plan, &right.plan) {
+                    let costed = model.cost_plan(&plan, rels);
+                    out.push(Candidate { plan, costed });
+                }
+            }
+        }
+    }
+}
+
+/// All physical join operators applicable to `(l, r)` in that orientation.
+fn join_methods(l: &Plan, r: &Plan) -> Vec<Plan> {
+    vec![
+        Plan::HashJoin { build: Box::new(l.clone()), probe: Box::new(r.clone()) },
+        Plan::MergeJoin { left: Box::new(l.clone()), right: Box::new(r.clone()) },
+        Plan::NestLoop { outer: Box::new(l.clone()), inner: Box::new(r.clone()) },
+    ]
+}
+
+fn keep_beam(cands: &mut Vec<Candidate>, beam: usize) {
+    cands.sort_by(|a, b| a.costed.cost.total_cost.total_cmp(&b.costed.cost.total_cost));
+    cands.truncate(beam);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rels(n: usize) -> Vec<RelInfo> {
+        (0..n)
+            .map(|i| RelInfo {
+                n_tuples: 5_000.0 * (i as f64 + 1.0),
+                n_blocks: 250.0 * (i as f64 + 1.0),
+                n_distinct: 1_000.0,
+                selectivity: 1.0,
+                has_index: true,
+                clustered: false,
+            })
+            .collect()
+    }
+
+    fn chain(n: usize) -> Query {
+        let mut b = Query::join();
+        for i in 0..n {
+            b = b.rel(&format!("r{i}"), 1.0);
+        }
+        for i in 0..n - 1 {
+            b = b.on(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn two_way_join_produces_a_valid_plan() {
+        let q = chain(2);
+        let best = enumerate_best(&q, &rels(2), &CostModel::paper_default(), PlanShape::Bushy);
+        assert!(best.plan.validate(&q).is_ok());
+        assert_eq!(best.plan.n_joins(), 1);
+        assert!(best.costed.cost.total_cost > 0.0);
+    }
+
+    #[test]
+    fn left_deep_mode_only_emits_left_deep_trees() {
+        let q = chain(4);
+        let cands = enumerate(&q, &rels(4), &CostModel::paper_default(), PlanShape::LeftDeep, 8);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.plan.is_left_deep(), "not left-deep: {}", c.plan.display());
+            assert!(c.plan.validate(&q).is_ok());
+        }
+    }
+
+    #[test]
+    fn bushy_mode_finds_plans_left_deep_cannot() {
+        let q = chain(4);
+        let bushy = enumerate(&q, &rels(4), &CostModel::paper_default(), PlanShape::Bushy, 32);
+        assert!(
+            bushy.iter().any(|c| !c.plan.is_left_deep()),
+            "a 4-way chain should admit at least one bushy candidate"
+        );
+    }
+
+    #[test]
+    fn bushy_best_is_no_worse_than_left_deep_best() {
+        let q = chain(5);
+        let m = CostModel::paper_default();
+        let ld = enumerate_best(&q, &rels(5), &m, PlanShape::LeftDeep);
+        let bushy = enumerate_best(&q, &rels(5), &m, PlanShape::Bushy);
+        assert!(bushy.costed.cost.total_cost <= ld.costed.cost.total_cost + 1e-9);
+    }
+
+    #[test]
+    fn beam_returns_distinct_ranked_candidates() {
+        let q = chain(3);
+        let cands = enumerate(&q, &rels(3), &CostModel::paper_default(), PlanShape::Bushy, 5);
+        assert!(cands.len() > 1);
+        for w in cands.windows(2) {
+            assert!(w[0].costed.cost.total_cost <= w[1].costed.cost.total_cost);
+        }
+    }
+
+    #[test]
+    fn cross_products_are_never_generated() {
+        // Star query: relation 0 joins each of 1..3; 1,2,3 are not directly
+        // connected, so any subset {1,2} must be unreachable.
+        let q = Query::join()
+            .rel("hub", 1.0)
+            .rel("s1", 1.0)
+            .rel("s2", 1.0)
+            .rel("s3", 1.0)
+            .on(0, 1)
+            .on(0, 2)
+            .on(0, 3)
+            .build();
+        let cands = enumerate(&q, &rels(4), &CostModel::paper_default(), PlanShape::Bushy, 4);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.plan.validate(&q).is_ok());
+        }
+    }
+
+    #[test]
+    fn single_relation_query_yields_a_scan() {
+        let q = Query::selection("r", 0.05);
+        let mut rs = rels(1);
+        rs[0].selectivity = 0.05;
+        let best = enumerate_best(&q, &rs, &CostModel::paper_default(), PlanShape::Bushy);
+        assert_eq!(best.plan.n_joins(), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Query specifications: a set of relations, per-relation selections, and an
+//! equi-join graph.
+//!
+//! The reproduction's query language is deliberately the paper's: selections
+//! on `r.a` (one-variable queries, Section 3) and multi-way equi-joins on
+//! `a` (the bushy-tree experiments of Section 4). A query names up to 16
+//! relations, gives each an optional selection selectivity, and connects
+//! pairs with join edges.
+
+/// An equi-join edge between two relations (indices into [`Query::rels`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// First relation index.
+    pub left: usize,
+    /// Second relation index.
+    pub right: usize,
+}
+
+/// The join graph: which relation pairs are connected by predicates.
+#[derive(Debug, Clone, Default)]
+pub struct JoinGraph {
+    edges: Vec<JoinEdge>,
+}
+
+impl JoinGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an edge between relation indices `left` and `right`.
+    pub fn add_edge(&mut self, left: usize, right: usize) {
+        assert_ne!(left, right, "self-joins need distinct relation entries");
+        self.edges.push(JoinEdge { left, right });
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[JoinEdge] {
+        &self.edges
+    }
+
+    /// Is there an edge between the relation subsets `a` and `b` (bitsets)?
+    pub fn connects(&self, a: u32, b: u32) -> bool {
+        self.edges.iter().any(|e| {
+            let lbit = 1u32 << e.left;
+            let rbit = 1u32 << e.right;
+            (a & lbit != 0 && b & rbit != 0) || (a & rbit != 0 && b & lbit != 0)
+        })
+    }
+}
+
+/// One relation reference within a query.
+#[derive(Debug, Clone)]
+pub struct RelRef {
+    /// Catalog name.
+    pub name: String,
+    /// Selection selectivity on this relation (1.0 = no selection).
+    pub selectivity: f64,
+}
+
+/// A select-join query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Referenced relations.
+    pub rels: Vec<RelRef>,
+    /// Equi-join predicates.
+    pub graph: JoinGraph,
+}
+
+impl Query {
+    /// A single-relation selection query (the Section 3 workload shape).
+    pub fn selection(name: &str, selectivity: f64) -> Self {
+        Query {
+            rels: vec![RelRef { name: name.to_string(), selectivity }],
+            graph: JoinGraph::new(),
+        }
+    }
+
+    /// Start building a join query.
+    pub fn join() -> QueryBuilder {
+        QueryBuilder { rels: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Number of relations.
+    pub fn n_rels(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Bitset of all relations.
+    pub fn full_set(&self) -> u32 {
+        (1u32 << self.rels.len()) - 1
+    }
+
+    /// Check structural sanity: at most 16 relations, all edges in range,
+    /// join graph connected (so plans need no cross products).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rels.is_empty() {
+            return Err("query references no relations".into());
+        }
+        if self.rels.len() > 16 {
+            return Err(format!("too many relations: {}", self.rels.len()));
+        }
+        for r in &self.rels {
+            if !(r.selectivity > 0.0 && r.selectivity <= 1.0) {
+                return Err(format!("selectivity {} of {} out of (0,1]", r.selectivity, r.name));
+            }
+        }
+        for e in self.graph.edges() {
+            if e.left >= self.rels.len() || e.right >= self.rels.len() {
+                return Err(format!("edge ({}, {}) out of range", e.left, e.right));
+            }
+        }
+        if self.rels.len() > 1 {
+            // Connectivity by union-find-lite.
+            let mut comp: Vec<usize> = (0..self.rels.len()).collect();
+            fn find(comp: &mut Vec<usize>, i: usize) -> usize {
+                if comp[i] != i {
+                    let root = find(comp, comp[i]);
+                    comp[i] = root;
+                }
+                comp[i]
+            }
+            for e in self.graph.edges() {
+                let (a, b) = (find(&mut comp, e.left), find(&mut comp, e.right));
+                comp[a] = b;
+            }
+            let root = find(&mut comp, 0);
+            for i in 1..self.rels.len() {
+                if find(&mut comp, i) != root {
+                    return Err("join graph is disconnected (cross product required)".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for join queries.
+pub struct QueryBuilder {
+    rels: Vec<RelRef>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl QueryBuilder {
+    /// Add a relation with a selection; returns its index.
+    pub fn rel(mut self, name: &str, selectivity: f64) -> Self {
+        self.rels.push(RelRef { name: name.to_string(), selectivity });
+        self
+    }
+
+    /// Join relation indices `a` and `b` on attribute `a`.
+    pub fn on(mut self, a: usize, b: usize) -> Self {
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Finish, validating the query.
+    ///
+    /// # Panics
+    /// Panics on a malformed query — construction-time bugs, not runtime
+    /// conditions.
+    pub fn build(self) -> Query {
+        let mut graph = JoinGraph::new();
+        for (a, b) in self.edges {
+            graph.add_edge(a, b);
+        }
+        let q = Query { rels: self.rels, graph };
+        if let Err(e) = q.validate() {
+            panic!("invalid query: {e}");
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_query_shape() {
+        let q = Query::selection("r1", 0.1);
+        assert_eq!(q.n_rels(), 1);
+        assert!(q.validate().is_ok());
+        assert_eq!(q.full_set(), 0b1);
+    }
+
+    #[test]
+    fn builder_constructs_a_chain_join() {
+        let q = Query::join()
+            .rel("a", 1.0)
+            .rel("b", 0.5)
+            .rel("c", 1.0)
+            .on(0, 1)
+            .on(1, 2)
+            .build();
+        assert_eq!(q.n_rels(), 3);
+        assert!(q.graph.connects(0b001, 0b010));
+        assert!(!q.graph.connects(0b001, 0b100));
+        assert!(q.graph.connects(0b011, 0b100));
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_graph_rejected() {
+        Query::join().rel("a", 1.0).rel("b", 1.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1]")]
+    fn bad_selectivity_rejected() {
+        Query::join().rel("a", 0.0).build();
+    }
+
+    #[test]
+    fn connects_is_symmetric() {
+        let mut g = JoinGraph::new();
+        g.add_edge(2, 0);
+        assert!(g.connects(0b001, 0b100));
+        assert!(g.connects(0b100, 0b001));
+    }
+}

@@ -1,0 +1,109 @@
+//! The shared-memory machine model: `N` processors plus a striped disk array.
+//!
+//! The paper's testbed is a 12-processor Sequent Symmetry with four disks of
+//! which eight processors are used in the experiments. Each disk was measured
+//! (after file-system overhead) at 97 I/Os per second for sequential reads,
+//! 60 for *almost sequential* reads (the pattern produced by several parallel
+//! backends scanning one striped relation) and 35 for random reads.
+
+/// Static description of the machine the scheduler is planning for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of processors available to query processing (`N`).
+    pub n_procs: u32,
+    /// Number of disks in the array; relations are striped round-robin.
+    pub n_disks: u32,
+    /// Per-disk sequential-read bandwidth, I/Os per second.
+    pub seq_bw: f64,
+    /// Per-disk almost-sequential bandwidth — what parallel scans of a single
+    /// striped relation actually see, I/Os per second.
+    pub almost_seq_bw: f64,
+    /// Per-disk random-read bandwidth, I/Os per second.
+    pub random_bw: f64,
+    /// Shared memory available to query processing, bytes. `f64::INFINITY`
+    /// disables the memory constraint (the paper's own setting — Section 5
+    /// leaves memory to future work; we implement it and default it off).
+    pub memory: f64,
+}
+
+impl MachineConfig {
+    /// The configuration used throughout the paper's Section 3 experiments:
+    /// 8 processors, 4 disks, 97/60/35 I/Os per second per disk.
+    ///
+    /// With these numbers the aggregate parallel bandwidth is
+    /// `B = 4 × 60 = 240` I/Os per second and the IO/CPU classification
+    /// threshold is `B / N = 30` I/Os per second.
+    pub fn paper_default() -> Self {
+        MachineConfig {
+            n_procs: 8,
+            n_disks: 4,
+            seq_bw: 97.0,
+            almost_seq_bw: 60.0,
+            random_bw: 35.0,
+            memory: f64::INFINITY,
+        }
+    }
+
+    /// Aggregate bandwidth `B` used by the balance-point equations: the
+    /// almost-sequential rate summed over the array. Parallel executions "at
+    /// most see the almost sequential read bandwidth" because reads become
+    /// unordered across asynchronous backends.
+    pub fn total_bandwidth(&self) -> f64 {
+        self.n_disks as f64 * self.almost_seq_bw
+    }
+
+    /// Aggregate truly-sequential bandwidth (single backend, in-order reads).
+    pub fn total_seq_bandwidth(&self) -> f64 {
+        self.n_disks as f64 * self.seq_bw
+    }
+
+    /// Aggregate random-read bandwidth — the floor the array degrades to when
+    /// it must seek between the blocks of competing tasks.
+    pub fn total_random_bandwidth(&self) -> f64 {
+        self.n_disks as f64 * self.random_bw
+    }
+
+    /// The IO/CPU classification threshold `B / N`: a task whose sequential
+    /// I/O rate exceeds this is IO-bound.
+    pub fn io_threshold(&self) -> f64 {
+        self.total_bandwidth() / self.n_procs as f64
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_3() {
+        let m = MachineConfig::paper_default();
+        assert_eq!(m.n_procs, 8);
+        assert_eq!(m.n_disks, 4);
+        assert_eq!(m.total_bandwidth(), 240.0);
+        assert_eq!(m.total_random_bandwidth(), 140.0);
+        assert_eq!(m.total_seq_bandwidth(), 388.0);
+        assert_eq!(m.io_threshold(), 30.0);
+    }
+
+    #[test]
+    fn threshold_scales_with_processors() {
+        let mut m = MachineConfig::paper_default();
+        m.n_procs = 4;
+        assert_eq!(m.io_threshold(), 60.0);
+        m.n_procs = 16;
+        assert_eq!(m.io_threshold(), 15.0);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_disks() {
+        let mut m = MachineConfig::paper_default();
+        m.n_disks = 8;
+        assert_eq!(m.total_bandwidth(), 480.0);
+    }
+}

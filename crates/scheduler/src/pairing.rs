@@ -1,0 +1,100 @@
+//! Heuristics for choosing which IO-bound and CPU-bound task to pair next.
+//!
+//! The paper's default is "obvious": pair the *most* IO-bound task (greatest
+//! I/O rate) with the *most* CPU-bound task (smallest I/O rate), so that the
+//! leftover tasks correspond to lines closer to the diagonal of the
+//! parallelism/bandwidth rectangle and later pairings stay near the maximum
+//! utilization corner. In a multi-user setting the paper suggests
+//! shortest-job-first instead, to favour response time over total elapsed
+//! time. FIFO is included as the naive baseline for the ablation bench.
+
+use crate::task::TaskProfile;
+
+/// Strategy for picking the next task out of the IO-bound or CPU-bound set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pairing {
+    /// Most IO-bound with most CPU-bound (the paper's choice).
+    #[default]
+    MostExtreme,
+    /// Oldest arrival first.
+    Fifo,
+    /// Shortest sequential time first (the paper's multi-user suggestion).
+    ShortestJobFirst,
+}
+
+impl Pairing {
+    /// Index of the task to take from `set`, which must be non-empty and is
+    /// kept in arrival order by the caller. `want_io` distinguishes the
+    /// IO-bound set (pick the *largest* rate) from the CPU-bound set (pick
+    /// the *smallest* rate) under [`Pairing::MostExtreme`].
+    pub fn pick(&self, set: &[TaskProfile], want_io: bool) -> usize {
+        assert!(!set.is_empty(), "cannot pick from an empty task set");
+        match self {
+            Pairing::Fifo => 0,
+            Pairing::ShortestJobFirst => {
+                let mut best = 0;
+                for (i, t) in set.iter().enumerate() {
+                    if t.seq_time < set[best].seq_time {
+                        best = i;
+                    }
+                }
+                best
+            }
+            Pairing::MostExtreme => {
+                let mut best = 0;
+                for (i, t) in set.iter().enumerate() {
+                    let better = if want_io {
+                        t.io_rate > set[best].io_rate
+                    } else {
+                        t.io_rate < set[best].io_rate
+                    };
+                    if better {
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{IoKind, TaskId};
+
+    fn t(id: u64, seq_time: f64, rate: f64) -> TaskProfile {
+        TaskProfile::new(TaskId(id), seq_time, rate, IoKind::Sequential)
+    }
+
+    #[test]
+    fn most_extreme_picks_highest_rate_for_io_side() {
+        let set = vec![t(0, 5.0, 40.0), t(1, 9.0, 65.0), t(2, 2.0, 50.0)];
+        assert_eq!(Pairing::MostExtreme.pick(&set, true), 1);
+    }
+
+    #[test]
+    fn most_extreme_picks_lowest_rate_for_cpu_side() {
+        let set = vec![t(0, 5.0, 25.0), t(1, 9.0, 6.0), t(2, 2.0, 18.0)];
+        assert_eq!(Pairing::MostExtreme.pick(&set, false), 1);
+    }
+
+    #[test]
+    fn fifo_picks_the_head() {
+        let set = vec![t(0, 5.0, 25.0), t(1, 9.0, 6.0)];
+        assert_eq!(Pairing::Fifo.pick(&set, true), 0);
+        assert_eq!(Pairing::Fifo.pick(&set, false), 0);
+    }
+
+    #[test]
+    fn sjf_picks_the_shortest() {
+        let set = vec![t(0, 5.0, 25.0), t(1, 1.5, 6.0), t(2, 9.0, 18.0)];
+        assert_eq!(Pairing::ShortestJobFirst.pick(&set, true), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty task set")]
+    fn picking_from_empty_set_panics() {
+        Pairing::MostExtreme.pick(&[], true);
+    }
+}

@@ -1,0 +1,154 @@
+//! The driver-facing scheduling policy abstraction.
+//!
+//! A *driver* — the fluid estimator ([`crate::fluid`]), the discrete-event
+//! simulator (`xprs-sim`) or the threaded executor (`xprs-executor`) — owns
+//! the clock and the running tasks. It forwards arrivals and completions to
+//! the policy and, after each batch of simultaneous events, asks the policy
+//! to [`decide`](SchedulePolicy::decide) what to start or adjust.
+//!
+//! The contract:
+//!
+//! * the driver never starts or resizes a task on its own;
+//! * `decide` may be called at any time and must be idempotent — returning
+//!   no actions when nothing should change;
+//! * `remaining_seq_time` in [`RunningTask`] is the driver's best estimate
+//!   of the sequential-time-equivalent work the task still has to do, which
+//!   is what the policy feeds back into the balance equations when it
+//!   re-pairs a running task.
+
+use crate::machine::MachineConfig;
+use crate::task::{TaskId, TaskProfile};
+
+/// Snapshot of one currently-running task, supplied by the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningTask {
+    /// The task's original profile.
+    pub profile: TaskProfile,
+    /// Degree of parallelism it currently runs with.
+    pub parallelism: f64,
+    /// Sequential-time-equivalent work left (`T_i` minus progress).
+    pub remaining_seq_time: f64,
+}
+
+impl RunningTask {
+    /// The profile re-expressed with the remaining work as its length, which
+    /// is what balance/estimate computations over a running task need.
+    pub fn remaining_profile(&self) -> TaskProfile {
+        TaskProfile {
+            seq_time: self.remaining_seq_time.max(f64::MIN_POSITIVE),
+            ..self.profile.clone()
+        }
+    }
+}
+
+/// An instruction from the policy to the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Begin executing a not-yet-started task with the given parallelism.
+    Start {
+        /// Task to start.
+        id: TaskId,
+        /// Degree of intra-operation parallelism to start with.
+        parallelism: f64,
+    },
+    /// Change the parallelism of a running task (the Section 2.4 protocols).
+    Adjust {
+        /// Running task to resize.
+        id: TaskId,
+        /// New degree of parallelism.
+        parallelism: f64,
+    },
+}
+
+impl Action {
+    /// The task this action applies to.
+    pub fn task(&self) -> TaskId {
+        match *self {
+            Action::Start { id, .. } | Action::Adjust { id, .. } => id,
+        }
+    }
+
+    /// The parallelism this action requests.
+    pub fn parallelism(&self) -> f64 {
+        match *self {
+            Action::Start { parallelism, .. } | Action::Adjust { parallelism, .. } => parallelism,
+        }
+    }
+}
+
+/// A processor-scheduling policy: decides which runnable plan fragments to
+/// execute, with what degree of parallelism, and when to adjust them.
+pub trait SchedulePolicy {
+    /// Human-readable policy name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// The machine this policy plans for.
+    fn machine(&self) -> &MachineConfig;
+
+    /// A new runnable task entered the system at time `now`.
+    fn on_arrival(&mut self, now: f64, task: TaskProfile);
+
+    /// Task `id` finished at time `now`.
+    fn on_finish(&mut self, now: f64, id: TaskId);
+
+    /// After all events at `now` are delivered, return the starts/adjusts to
+    /// apply. `running` describes every task currently executing (with the
+    /// parallelism the driver last applied, and remaining work).
+    fn decide(&mut self, now: f64, running: &[RunningTask]) -> Vec<Action>;
+}
+
+/// Clamp a fractional allocation to whole workers in `1..=limit`.
+///
+/// Policies that feed real execution engines (the DES and the threaded
+/// executor) must hand out whole backends; the analytic fluid estimator
+/// keeps the fractional optimum.
+pub fn round_parallelism(x: f64, limit: u32) -> f64 {
+    x.round().clamp(1.0, limit as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::IoKind;
+
+    #[test]
+    fn remaining_profile_substitutes_remaining_work() {
+        let rt = RunningTask {
+            profile: TaskProfile::new(TaskId(7), 20.0, 50.0, IoKind::Sequential),
+            parallelism: 3.0,
+            remaining_seq_time: 12.5,
+        };
+        let p = rt.remaining_profile();
+        assert_eq!(p.seq_time, 12.5);
+        assert_eq!(p.io_rate, 50.0);
+        assert_eq!(p.id, TaskId(7));
+    }
+
+    #[test]
+    fn remaining_profile_never_panics_on_exhausted_tasks() {
+        let rt = RunningTask {
+            profile: TaskProfile::new(TaskId(7), 20.0, 50.0, IoKind::Sequential),
+            parallelism: 3.0,
+            remaining_seq_time: 0.0,
+        };
+        assert!(rt.remaining_profile().seq_time > 0.0);
+    }
+
+    #[test]
+    fn rounding_respects_bounds() {
+        assert_eq!(round_parallelism(3.4, 8), 3.0);
+        assert_eq!(round_parallelism(3.6, 8), 4.0);
+        assert_eq!(round_parallelism(0.2, 8), 1.0);
+        assert_eq!(round_parallelism(11.0, 8), 8.0);
+    }
+
+    #[test]
+    fn action_accessors() {
+        let a = Action::Start { id: TaskId(1), parallelism: 2.0 };
+        assert_eq!(a.task(), TaskId(1));
+        assert_eq!(a.parallelism(), 2.0);
+        let b = Action::Adjust { id: TaskId(2), parallelism: 5.0 };
+        assert_eq!(b.task(), TaskId(2));
+        assert_eq!(b.parallelism(), 5.0);
+    }
+}

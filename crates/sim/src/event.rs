@@ -1,0 +1,132 @@
+//! The event queue: a time-ordered heap with FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A task enters the system (index into the simulator's task table).
+    Arrival(usize),
+    /// Disk `disk` finished its in-service request.
+    DiskDone(u32),
+    /// A processor finished worker `worker`'s CPU burst for one page.
+    CpuDone(usize),
+    /// A deferred parallelism adjustment lands (task, new parallelism).
+    ApplyAdjust(usize, u32),
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (then
+        // first-inserted) event pops first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        debug_assert!(time.is_finite() && time >= 0.0, "event at invalid time {time}");
+        self.heap.push(Event { time, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event as `(time, kind)`.
+    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+        self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::DiskDone(0));
+        q.push(1.0, EventKind::Arrival(0));
+        q.push(3.0, EventKind::CpuDone(5));
+        assert_eq!(q.pop(), Some((1.0, EventKind::Arrival(0))));
+        assert_eq!(q.pop(), Some((2.0, EventKind::DiskDone(0))));
+        assert_eq!(q.pop(), Some((3.0, EventKind::CpuDone(5))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Arrival(0));
+        q.push(1.0, EventKind::Arrival(1));
+        q.push(1.0, EventKind::Arrival(2));
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(0));
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(1));
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(2));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::DiskDone(1));
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid time")]
+    fn rejects_nan_times() {
+        EventQueue::new().push(f64::NAN, EventKind::Arrival(0));
+    }
+}

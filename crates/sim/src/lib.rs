@@ -1,0 +1,30 @@
+//! # xprs-sim
+//!
+//! A discrete-event simulator of the XPRS machine: `N` processors sharing
+//! memory, a striped disk array with per-request service times from
+//! `xprs-disk`, and slave-backend workers executing page-partitioned
+//! sequential scans or range-partitioned index scans, one synchronous
+//! I/O-then-CPU cycle per page — exactly the execution structure whose
+//! aggregate behaviour the paper's scheduling formulas model.
+//!
+//! Any [`xprs_scheduler::SchedulePolicy`] can drive the simulation: the
+//! engine delivers task arrivals and completions to the policy and applies
+//! its `Start`/`Adjust` actions, implementing `Adjust` with the *actual*
+//! Section 2.4 max-page / interval-re-partitioning protocols from
+//! `xprs-storage::partition` (plus a configurable protocol latency).
+//!
+//! The difference between this crate and
+//! [`xprs_scheduler::fluid`] is the level of modelling: the fluid engine
+//! *is* the paper's cost arithmetic (`IO_i(x) = C_i·x`, bandwidth caps,
+//! interpolated interference), while this engine measures what an actual
+//! machine with queues, heads and integer workers would do. Benchmarks run
+//! both and report the shapes side by side.
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod task;
+
+pub use engine::{SimConfig, Simulator};
+pub use metrics::SimReport;
+pub use task::{AccessPattern, SimTask};

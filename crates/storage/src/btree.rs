@@ -1,0 +1,331 @@
+//! A from-scratch B+-tree index over `int4` keys.
+//!
+//! The experiments create an (optionally unclustered) index on `r.a` to make
+//! index scans possible; an unclustered index scan follows each posting to a
+//! tuple on some heap page, generating the random I/O pattern that makes
+//! such scans IO-bound. The tree stores every `TupleId` for a key (duplicate
+//! keys are normal), supports point and range lookups, and keeps the classic
+//! invariants: all leaves at the same depth, every node at least half full
+//! (except the root), keys ordered within and across nodes.
+
+use crate::tuple::TupleId;
+
+/// Maximum keys per node; splits keep nodes between `MAX_KEYS/2` and
+/// `MAX_KEYS`. Small enough to exercise splits in tests, large enough to be
+/// realistic for 8 KB pages of `(int4, TID)` entries.
+const MAX_KEYS: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<i32>,
+        postings: Vec<Vec<TupleId>>,
+    },
+    Internal {
+        /// `keys[i]` is the smallest key reachable in `children[i + 1]`.
+        keys: Vec<i32>,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn empty_leaf() -> Node {
+        Node::Leaf { keys: Vec::new(), postings: Vec::new() }
+    }
+
+    fn smallest_key(&self) -> i32 {
+        match self {
+            Node::Leaf { keys, .. } => keys[0],
+            Node::Internal { children, .. } => children[0].smallest_key(),
+        }
+    }
+
+    /// Insert; on overflow return `(separator, right sibling)`.
+    fn insert(&mut self, key: i32, tid: TupleId) -> Option<(i32, Node)> {
+        match self {
+            Node::Leaf { keys, postings } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        postings[i].push(tid);
+                        None
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        postings.insert(i, vec![tid]);
+                        if keys.len() > MAX_KEYS {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_postings = postings.split_off(mid);
+                            let sep = right_keys[0];
+                            Some((sep, Node::Leaf { keys: right_keys, postings: right_postings }))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                if let Some((sep, right)) = children[idx].insert(key, tid) {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        // keys[mid] moves up as the separator.
+                        let sep_up = keys[mid];
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // remove the promoted separator
+                        let right_children = children.split_off(mid + 1);
+                        return Some((
+                            sep_up,
+                            Node::Internal { keys: right_keys, children: right_children },
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn lookup(&self, key: i32) -> Option<&[TupleId]> {
+        match self {
+            Node::Leaf { keys, postings } => {
+                keys.binary_search(&key).ok().map(|i| postings[i].as_slice())
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                children[idx].lookup(key)
+            }
+        }
+    }
+
+    fn range_into(&self, lo: i32, hi: i32, out: &mut Vec<(i32, TupleId)>) {
+        match self {
+            Node::Leaf { keys, postings } => {
+                let start = keys.partition_point(|k| *k < lo);
+                for i in start..keys.len() {
+                    if keys[i] > hi {
+                        break;
+                    }
+                    for &tid in &postings[i] {
+                        out.push((keys[i], tid));
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let start = match keys.binary_search(&lo) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                for idx in start..children.len() {
+                    if idx > 0 && keys[idx - 1] > hi {
+                        break;
+                    }
+                    children[idx].range_into(lo, hi, out);
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => 1 + children[0].depth(),
+        }
+    }
+
+    /// Validate ordering, fill and uniform depth; returns leaf depth.
+    fn check(&self, min: Option<i32>, max: Option<i32>, is_root: bool) -> usize {
+        match self {
+            Node::Leaf { keys, postings } => {
+                assert_eq!(keys.len(), postings.len());
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys unordered");
+                if let Some(m) = min {
+                    assert!(keys.iter().all(|k| *k >= m));
+                }
+                if let Some(m) = max {
+                    assert!(keys.iter().all(|k| *k < m));
+                }
+                if !is_root {
+                    assert!(keys.len() >= MAX_KEYS / 2, "underfull leaf");
+                }
+                assert!(postings.iter().all(|p| !p.is_empty()));
+                1
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1);
+                assert!(keys.windows(2).all(|w| w[0] < w[1]), "internal keys unordered");
+                if !is_root {
+                    assert!(keys.len() >= MAX_KEYS / 2, "underfull internal node");
+                } else {
+                    assert!(!keys.is_empty(), "root internal node must have a key");
+                }
+                let mut depths = Vec::new();
+                for (i, child) in children.iter().enumerate() {
+                    let lo = if i == 0 { min } else { Some(keys[i - 1]) };
+                    let hi = if i == keys.len() { max } else { Some(keys[i]) };
+                    depths.push(child.check(lo, hi, false));
+                    if i > 0 {
+                        assert_eq!(child.smallest_key(), keys[i - 1], "separator must equal subtree minimum");
+                    }
+                }
+                assert!(depths.windows(2).all(|w| w[0] == w[1]), "leaves at unequal depth");
+                depths[0] + 1
+            }
+        }
+    }
+}
+
+/// B+-tree index over `int4` keys, mapping each key to all tuples bearing it.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    root: Node,
+    n_entries: u64,
+    clustered: bool,
+}
+
+impl BTreeIndex {
+    /// An empty index. `clustered` records whether the heap is stored in key
+    /// order (which the optimizer's cost model and the scheduler's I/O-kind
+    /// classification both consult).
+    pub fn new(clustered: bool) -> Self {
+        BTreeIndex { root: Node::empty_leaf(), n_entries: 0, clustered }
+    }
+
+    /// Whether the underlying heap is clustered on this key.
+    pub fn is_clustered(&self) -> bool {
+        self.clustered
+    }
+
+    /// Insert `(key, tid)`.
+    pub fn insert(&mut self, key: i32, tid: TupleId) {
+        if let Some((sep, right)) = self.root.insert(key, tid) {
+            let old_root = std::mem::replace(&mut self.root, Node::empty_leaf());
+            self.root = Node::Internal { keys: vec![sep], children: vec![old_root, right] };
+        }
+        self.n_entries += 1;
+    }
+
+    /// All tuples with exactly `key`.
+    pub fn lookup(&self, key: i32) -> &[TupleId] {
+        self.root.lookup(key).unwrap_or(&[])
+    }
+
+    /// All `(key, tid)` pairs with `lo <= key <= hi`, in key order.
+    pub fn range(&self, lo: i32, hi: i32) -> Vec<(i32, TupleId)> {
+        let mut out = Vec::new();
+        if lo <= hi {
+            self.root.range_into(lo, hi, &mut out);
+        }
+        out
+    }
+
+    /// Number of `(key, tid)` entries inserted.
+    pub fn n_entries(&self) -> u64 {
+        self.n_entries
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Assert every structural invariant; used by tests and property tests.
+    pub fn check_invariants(&self) {
+        self.root.check(None, None, true);
+    }
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(b: u64, s: u16) -> TupleId {
+        TupleId { block: b, slot: s }
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx = BTreeIndex::new(false);
+        assert_eq!(idx.lookup(1), &[]);
+        assert!(idx.range(0, 100).is_empty());
+        assert_eq!(idx.height(), 1);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn point_lookups_after_many_inserts() {
+        let mut idx = BTreeIndex::new(false);
+        for k in 0..10_000 {
+            idx.insert(k, tid(k as u64 / 100, (k % 100) as u16));
+        }
+        idx.check_invariants();
+        assert!(idx.height() > 1, "10k keys must split the root");
+        for k in [0, 1, 4_999, 9_999] {
+            assert_eq!(idx.lookup(k), &[tid(k as u64 / 100, (k % 100) as u16)]);
+        }
+        assert_eq!(idx.lookup(10_000), &[]);
+        assert_eq!(idx.n_entries(), 10_000);
+    }
+
+    #[test]
+    fn duplicate_keys_accumulate_postings() {
+        let mut idx = BTreeIndex::new(false);
+        for s in 0..50 {
+            idx.insert(7, tid(1, s));
+        }
+        assert_eq!(idx.lookup(7).len(), 50);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn range_scan_is_ordered_and_inclusive() {
+        let mut idx = BTreeIndex::new(true);
+        // Insert in a scrambled order.
+        let mut keys: Vec<i32> = (0..1000).collect();
+        for i in 0..keys.len() {
+            let j = (i * 7919) % keys.len();
+            keys.swap(i, j);
+        }
+        for &k in &keys {
+            idx.insert(k, tid(k as u64, 0));
+        }
+        idx.check_invariants();
+        let got = idx.range(100, 199);
+        assert_eq!(got.len(), 100);
+        assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(got[0].0, 100);
+        assert_eq!(got[99].0, 199);
+        // Empty and inverted ranges.
+        assert!(idx.range(2000, 3000).is_empty());
+        assert!(idx.range(10, 5).is_empty());
+    }
+
+    #[test]
+    fn descending_insertion_keeps_invariants() {
+        let mut idx = BTreeIndex::new(false);
+        for k in (0..5000).rev() {
+            idx.insert(k, tid(0, 0));
+        }
+        idx.check_invariants();
+        assert_eq!(idx.range(0, 4999).len(), 5000);
+    }
+
+    #[test]
+    fn clustered_flag_is_carried() {
+        assert!(BTreeIndex::new(true).is_clustered());
+        assert!(!BTreeIndex::default().is_clustered());
+    }
+}

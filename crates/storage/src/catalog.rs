@@ -1,0 +1,236 @@
+//! The system catalog: relations, indexes and optimizer statistics.
+
+use std::collections::BTreeMap;
+
+use xprs_disk::{RelId, StripedLayout};
+
+use crate::btree::BTreeIndex;
+use crate::datum::Datum;
+use crate::heap::HeapFile;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// Statistics the optimizer's selectivity and cost estimation consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelStats {
+    /// Cardinality.
+    pub n_tuples: u64,
+    /// Heap pages.
+    pub n_blocks: u64,
+    /// Distinct values of the key attribute `a`.
+    pub n_distinct_a: u64,
+    /// Minimum of `a` (0 if empty).
+    pub min_a: i32,
+    /// Maximum of `a` (0 if empty).
+    pub max_a: i32,
+}
+
+/// One catalogued relation: heap, optional index on `a`, cached statistics.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Relation name.
+    pub name: String,
+    /// The heap file.
+    pub heap: HeapFile,
+    /// Optional B-tree index on column `a`.
+    pub index_on_a: Option<BTreeIndex>,
+    stats: RelStats,
+}
+
+impl Relation {
+    /// Cached statistics (recomputed on load and index build).
+    pub fn stats(&self) -> RelStats {
+        self.stats
+    }
+
+    fn recompute_stats(&mut self) {
+        let mut distinct = std::collections::HashSet::new();
+        let mut min_a = i32::MAX;
+        let mut max_a = i32::MIN;
+        for (_, t) in self.heap.scan() {
+            if let Some(v) = t.get(0).as_int() {
+                distinct.insert(v);
+                min_a = min_a.min(v);
+                max_a = max_a.max(v);
+            }
+        }
+        let n_tuples = self.heap.n_tuples();
+        self.stats = RelStats {
+            n_tuples,
+            n_blocks: self.heap.n_blocks(),
+            n_distinct_a: distinct.len() as u64,
+            min_a: if n_tuples == 0 { 0 } else { min_a },
+            max_a: if n_tuples == 0 { 0 } else { max_a },
+        };
+    }
+}
+
+/// The catalog: name → relation, plus relation-id allocation.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    layout: StripedLayout,
+    rels: BTreeMap<String, Relation>,
+    next_id: u64,
+}
+
+impl Catalog {
+    /// A catalog whose relations stripe over `layout`.
+    pub fn new(layout: StripedLayout) -> Self {
+        Catalog { layout, rels: BTreeMap::new(), next_id: 1 }
+    }
+
+    /// The striping layout shared by every relation.
+    pub fn layout(&self) -> StripedLayout {
+        self.layout
+    }
+
+    /// Create an empty relation. Returns its id.
+    ///
+    /// # Panics
+    /// Panics if the name is taken.
+    pub fn create(&mut self, name: &str, schema: Schema) -> RelId {
+        assert!(!self.rels.contains_key(name), "relation {name} already exists");
+        let rel = RelId(self.next_id);
+        self.next_id += 1;
+        self.rels.insert(
+            name.to_string(),
+            Relation {
+                name: name.to_string(),
+                heap: HeapFile::new(rel, schema, self.layout),
+                index_on_a: None,
+                stats: RelStats { n_tuples: 0, n_blocks: 0, n_distinct_a: 0, min_a: 0, max_a: 0 },
+            },
+        );
+        rel
+    }
+
+    /// Bulk-load rows into `name` and refresh statistics.
+    pub fn load(&mut self, name: &str, rows: impl IntoIterator<Item = Tuple>) {
+        let rel = self.rels.get_mut(name).unwrap_or_else(|| panic!("no relation {name}"));
+        for row in rows {
+            let tid = rel.heap.insert(row);
+            // Maintain any existing index incrementally.
+            if let Some(idx) = &mut rel.index_on_a {
+                if let Some(key) = rel.heap.fetch(tid).and_then(|t| t.get(0).as_int()) {
+                    idx.insert(key, tid);
+                }
+            }
+        }
+        rel.recompute_stats();
+    }
+
+    /// Build a B-tree index on column `a` of `name`.
+    pub fn build_index(&mut self, name: &str, clustered: bool) {
+        let rel = self.rels.get_mut(name).unwrap_or_else(|| panic!("no relation {name}"));
+        let mut idx = BTreeIndex::new(clustered);
+        for (tid, t) in rel.heap.scan() {
+            if let Datum::Int(k) = t.get(0) {
+                idx.insert(*k, tid);
+            }
+        }
+        rel.index_on_a = Some(idx);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.rels.get(name)
+    }
+
+    /// All relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.rels.values()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// True when no relation exists.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn row(a: i32, blen: usize) -> Tuple {
+        Tuple::from_values(vec![Datum::Int(a), Datum::Text("b".repeat(blen))])
+    }
+
+    fn catalog_with_rows(n: i32) -> Catalog {
+        let mut c = Catalog::new(StripedLayout::new(4));
+        c.create("r1", Schema::paper_rel());
+        c.load("r1", (0..n).map(|i| row(i % 100, 100)));
+        c
+    }
+
+    #[test]
+    fn create_load_and_stats() {
+        let c = catalog_with_rows(1000);
+        let r = c.get("r1").unwrap();
+        let s = r.stats();
+        assert_eq!(s.n_tuples, 1000);
+        assert_eq!(s.n_distinct_a, 100);
+        assert_eq!(s.min_a, 0);
+        assert_eq!(s.max_a, 99);
+        assert!(s.n_blocks > 0);
+    }
+
+    #[test]
+    fn index_build_covers_every_tuple() {
+        let mut c = catalog_with_rows(1000);
+        c.build_index("r1", false);
+        let r = c.get("r1").unwrap();
+        let idx = r.index_on_a.as_ref().unwrap();
+        assert_eq!(idx.n_entries(), 1000);
+        idx.check_invariants();
+        // Key 7 appears 10 times (i % 100).
+        assert_eq!(idx.lookup(7).len(), 10);
+        // Postings point back at real tuples with the right key.
+        for &tid in idx.lookup(7) {
+            assert_eq!(r.heap.fetch(tid).unwrap().get(0), &Datum::Int(7));
+        }
+    }
+
+    #[test]
+    fn incremental_index_maintenance_on_load() {
+        let mut c = catalog_with_rows(10);
+        c.build_index("r1", false);
+        c.load("r1", vec![row(7, 10)]);
+        let r = c.get("r1").unwrap();
+        assert_eq!(r.index_on_a.as_ref().unwrap().n_entries(), 11);
+        assert_eq!(r.stats().n_tuples, 11);
+    }
+
+    #[test]
+    fn empty_relation_stats_are_zeroed() {
+        let mut c = Catalog::new(StripedLayout::new(4));
+        c.create("empty", Schema::paper_rel());
+        c.load("empty", Vec::<Tuple>::new());
+        let s = c.get("empty").unwrap().stats();
+        assert_eq!(s.n_tuples, 0);
+        assert_eq!(s.min_a, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_relation_names_rejected() {
+        let mut c = Catalog::new(StripedLayout::new(4));
+        c.create("r", Schema::paper_rel());
+        c.create("r", Schema::paper_rel());
+    }
+
+    #[test]
+    fn relations_iterate_in_name_order() {
+        let mut c = Catalog::new(StripedLayout::new(4));
+        c.create("zeta", Schema::paper_rel());
+        c.create("alpha", Schema::paper_rel());
+        let names: Vec<&str> = c.relations().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # xprs-storage
+//!
+//! The storage substrate underneath the XPRS reproduction: slotted 8 KB heap
+//! pages striped round-robin over the disk array, an in-memory B-tree index
+//! (clustered or unclustered), a pinning LRU buffer pool, a catalog with
+//! optimizer statistics, and — because they are really statements about how
+//! a relation's pages and key ranges are divided among parallel backends —
+//! the page-partitioning and range-partitioning schemes of the paper's
+//! Section 2.4, including the *max-page* and *interval re-partitioning*
+//! dynamic-adjustment protocols (Figures 5 and 6).
+//!
+//! The experiments' schema is `r(a int4, b text)`: attribute `b` is a
+//! variable-length string used purely to dial the tuple size, which in turn
+//! dials a scan's I/O rate — one 8 KB page holds one huge tuple (`r_max`,
+//! 70 I/Os per second) or hundreds of minimal ones (`r_min`, 5 I/Os per
+//! second).
+
+pub mod btree;
+pub mod bufpool;
+pub mod catalog;
+pub mod datum;
+pub mod heap;
+pub mod page;
+pub mod partition;
+pub mod schema;
+pub mod tuple;
+
+pub use btree::BTreeIndex;
+pub use bufpool::{BufferPool, PoolStats};
+pub use catalog::{Catalog, RelStats, Relation};
+pub use datum::Datum;
+pub use heap::HeapFile;
+pub use page::{Page, PAGE_HEADER, PAGE_SIZE};
+pub use partition::{PagePartition, RangePartition};
+pub use schema::{ColumnType, Schema};
+pub use tuple::{Tuple, TupleId};

@@ -1,0 +1,117 @@
+//! Relation schemas.
+
+use crate::datum::Datum;
+
+/// Column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 32-bit integer.
+    Int4,
+    /// Variable-length string.
+    Text,
+}
+
+impl ColumnType {
+    /// Does `d` inhabit this type (NULL inhabits every type)?
+    pub fn admits(&self, d: &Datum) -> bool {
+        matches!(
+            (self, d),
+            (ColumnType::Int4, Datum::Int(_))
+                | (ColumnType::Text, Datum::Text(_))
+                | (_, Datum::Null)
+        )
+    }
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// Build from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn new(columns: Vec<(&str, ColumnType)>) -> Self {
+        let columns: Vec<(String, ColumnType)> =
+            columns.into_iter().map(|(n, t)| (n.to_string(), t)).collect();
+        for i in 0..columns.len() {
+            for j in i + 1..columns.len() {
+                assert_ne!(columns[i].0, columns[j].0, "duplicate column name {}", columns[i].0);
+            }
+        }
+        Schema { columns }
+    }
+
+    /// The paper's experiment schema: `r(a int4, b text)`.
+    pub fn paper_rel() -> Self {
+        Schema::new(vec![("a", ColumnType::Int4), ("b", ColumnType::Text)])
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Name and type of column `i`.
+    pub fn column(&self, i: usize) -> (&str, ColumnType) {
+        let (n, t) = &self.columns[i];
+        (n, *t)
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, ColumnType)> {
+        self.columns.iter().map(|(n, t)| (n.as_str(), *t))
+    }
+
+    /// Concatenate with another schema (join output). Columns keep their
+    /// order; duplicate names are allowed in join outputs and resolved by
+    /// position downstream.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schema_shape() {
+        let s = Schema::paper_rel();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("a"), Some(0));
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("c"), None);
+        assert_eq!(s.column(0), ("a", ColumnType::Int4));
+    }
+
+    #[test]
+    fn type_admission() {
+        assert!(ColumnType::Int4.admits(&Datum::Int(1)));
+        assert!(!ColumnType::Int4.admits(&Datum::Text("x".into())));
+        assert!(ColumnType::Text.admits(&Datum::Null));
+    }
+
+    #[test]
+    fn join_concatenates_columns() {
+        let s = Schema::paper_rel().join(&Schema::new(vec![("c", ColumnType::Int4)]));
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("c"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![("a", ColumnType::Int4), ("a", ColumnType::Text)]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Task and relation generation.
+//!
+//! Each generated task scans its own relation (distinct relations make the
+//! disk-head interference between co-scheduled tasks real). The generator
+//! produces both the scheduler-facing [`TaskProfile`] and a relation
+//! specification that, when loaded into a catalog, *realizes* that profile
+//! on the executor — so the same workload drives the analytic model, the
+//! discrete-event simulator and the threaded executor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xprs_scheduler::{IoKind, TaskId, TaskProfile};
+use xprs_storage::{Catalog, Datum, Tuple};
+
+use crate::calibrate::Calibration;
+use crate::spec::{LengthModel, WorkloadConfig};
+
+/// One generated task.
+#[derive(Debug, Clone)]
+pub struct GeneratedTask {
+    /// Scheduler-facing profile.
+    pub profile: TaskProfile,
+    /// Name of the backing relation.
+    pub relation: String,
+    /// Tuples in the relation.
+    pub n_tuples: u64,
+    /// `b`-attribute length realizing the I/O rate.
+    pub blen: usize,
+    /// Heap pages the scan will read.
+    pub n_pages: u64,
+}
+
+/// A complete generated workload.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// The configuration that produced it.
+    pub config: WorkloadConfig,
+    /// Tasks in generation order.
+    pub tasks: Vec<GeneratedTask>,
+}
+
+impl GeneratedWorkload {
+    /// The task profiles, for driving schedulers and simulators.
+    pub fn profiles(&self) -> Vec<TaskProfile> {
+        self.tasks.iter().map(|t| t.profile.clone()).collect()
+    }
+
+    /// Create and bulk-load every backing relation into `catalog`.
+    pub fn load_into(&self, catalog: &mut Catalog) {
+        for t in &self.tasks {
+            catalog.create(&t.relation, xprs_storage::Schema::paper_rel());
+            let rows = (0..t.n_tuples).map(|i| {
+                Tuple::from_values(vec![
+                    Datum::Int((i % 1000) as i32),
+                    Datum::Text("x".repeat(t.blen)),
+                ])
+            });
+            catalog.load(&t.relation, rows);
+        }
+    }
+}
+
+/// The workload generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    calibration: Calibration,
+}
+
+impl WorkloadGenerator {
+    /// Generator with the paper calibration.
+    pub fn new() -> Self {
+        WorkloadGenerator { calibration: Calibration::paper_default() }
+    }
+
+    /// Generate the tasks of `config`. Deterministic per seed.
+    pub fn generate(&self, config: &WorkloadConfig) -> GeneratedWorkload {
+        assert!(config.n_tasks >= 1, "empty workload");
+        if let LengthModel::Tuples { min, max } = config.length {
+            assert!(min >= 1 && min <= max, "bad tuple-length bounds");
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut tasks = Vec::with_capacity(config.n_tasks);
+        for i in 0..config.n_tasks {
+            let target_rate = config.kind.rate(i, rng.random::<f64>());
+            let blen = self.calibration.blen_for_rate(target_rate);
+            // The realized rate is quantized by whole tuples-per-page; use
+            // it (not the target) so the profile matches the physical task.
+            let rate = self.calibration.rate(blen);
+            let tpp = self.calibration.tuples_per_page(blen);
+            let (n_tuples, n_pages) = match config.length {
+                LengthModel::Tuples { min, max } => {
+                    let n_tuples = rng.random_range(min..=max);
+                    (n_tuples, n_tuples.div_ceil(tpp))
+                }
+                LengthModel::SeqTime { min, max } => {
+                    let t = rng.random_range(min..=max);
+                    let n_pages = ((t * rate).round() as u64).max(1);
+                    (n_pages * tpp, n_pages)
+                }
+            };
+            let seq_time = n_pages as f64 / rate;
+            let profile =
+                TaskProfile::new(TaskId(i as u64), seq_time, rate, IoKind::Sequential);
+            tasks.push(GeneratedTask {
+                profile,
+                relation: format!("wl_{}_{:02}", config.seed, i),
+                n_tuples,
+                blen,
+                n_pages,
+            });
+        }
+        GeneratedWorkload { config: config.clone(), tasks }
+    }
+}
+
+impl Default for WorkloadGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadKind;
+    use xprs_disk::StripedLayout;
+    use xprs_scheduler::MachineConfig;
+
+    fn generate(kind: WorkloadKind, seed: u64) -> GeneratedWorkload {
+        WorkloadGenerator::new().generate(&WorkloadConfig::paper(kind, seed))
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(WorkloadKind::RandomMix, 7);
+        let b = generate(WorkloadKind::RandomMix, 7);
+        assert_eq!(a.profiles(), b.profiles());
+        let c = generate(WorkloadKind::RandomMix, 8);
+        assert_ne!(a.profiles(), c.profiles());
+    }
+
+    #[test]
+    fn rates_respect_their_class() {
+        let m = MachineConfig::paper_default();
+        let cpu = generate(WorkloadKind::AllCpu, 3);
+        assert!(cpu.tasks.iter().all(|t| t.profile.io_rate < m.io_threshold() + 1.0));
+        let io = generate(WorkloadKind::AllIo, 3);
+        // Quantization can land a hair under the nominal bound.
+        assert!(io.tasks.iter().all(|t| t.profile.io_rate > 27.0));
+    }
+
+    #[test]
+    fn extreme_workload_is_half_and_half() {
+        let w = generate(WorkloadKind::Extreme, 11);
+        let io_bound = w.tasks.iter().filter(|t| t.profile.io_rate > 50.0).count();
+        let cpu_bound = w.tasks.iter().filter(|t| t.profile.io_rate < 20.0).count();
+        assert_eq!(io_bound, 5);
+        assert_eq!(cpu_bound, 5);
+    }
+
+    #[test]
+    fn default_lengths_are_durations_in_range() {
+        let w = generate(WorkloadKind::RandomMix, 1234);
+        for t in &w.tasks {
+            assert!(t.n_pages >= 1);
+            // Page rounding can nudge the duration slightly past the bounds.
+            assert!((1.8..=20.5).contains(&t.profile.seq_time), "T = {}", t.profile.seq_time);
+        }
+    }
+
+    #[test]
+    fn literal_tuple_lengths_cover_the_paper_range() {
+        let w = WorkloadGenerator::new()
+            .generate(&WorkloadConfig::paper_tuple_lengths(WorkloadKind::RandomMix, 1234));
+        for t in &w.tasks {
+            assert!((100..=10_000).contains(&t.n_tuples));
+            assert!(t.n_pages >= 1);
+            assert!(t.profile.seq_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn loaded_relations_realize_the_profiles() {
+        let w = generate(WorkloadKind::Extreme, 5);
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        w.load_into(&mut cat);
+        for t in &w.tasks {
+            let rel = cat.get(&t.relation).expect("relation loaded");
+            let stats = rel.stats();
+            assert_eq!(stats.n_tuples, t.n_tuples);
+            assert_eq!(
+                stats.n_blocks, t.n_pages,
+                "page count mismatch for {} (blen {})",
+                t.relation, t.blen
+            );
+        }
+    }
+
+    #[test]
+    fn profile_seq_time_is_pages_over_rate() {
+        let w = generate(WorkloadKind::AllIo, 21);
+        for t in &w.tasks {
+            let expect = t.n_pages as f64 / t.profile.io_rate;
+            assert!((t.profile.seq_time - expect).abs() < 1e-12);
+            assert!((t.profile.total_ios() - t.n_pages as f64).abs() < 1e-6);
+        }
+    }
+}

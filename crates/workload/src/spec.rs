@@ -1,0 +1,152 @@
+//! Workload configurations (serializable, for reproducible experiments).
+
+use serde::{Deserialize, Serialize};
+
+/// The four Section 3 workload classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// All tasks CPU-bound: rates uniform in `[5, 30)`.
+    AllCpu,
+    /// All tasks IO-bound: rates uniform in `(30, 60]`.
+    AllIo,
+    /// Half extremely CPU-bound `[5, 15]`, half extremely IO-bound `[60, 70]`.
+    Extreme,
+    /// Rates uniform across the whole `[5, 70]` span.
+    RandomMix,
+}
+
+impl WorkloadKind {
+    /// All four classes, in the paper's Figure 7 order.
+    pub fn all() -> [WorkloadKind; 4] {
+        [WorkloadKind::AllCpu, WorkloadKind::AllIo, WorkloadKind::Extreme, WorkloadKind::RandomMix]
+    }
+
+    /// Display label matching the figure.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::AllCpu => "AllCPU",
+            WorkloadKind::AllIo => "AllIO",
+            WorkloadKind::Extreme => "Extreme",
+            WorkloadKind::RandomMix => "Random",
+        }
+    }
+
+    /// Draw an I/O rate for task number `i` given uniform samples `u`
+    /// (both in `[0, 1)`).
+    pub fn rate(&self, i: usize, u: f64) -> f64 {
+        match self {
+            WorkloadKind::AllCpu => 5.0 + 25.0 * u,
+            WorkloadKind::AllIo => 30.0 + 1e-6 + (30.0 - 1e-6) * u,
+            WorkloadKind::Extreme => {
+                if i.is_multiple_of(2) {
+                    5.0 + 10.0 * u
+                } else {
+                    60.0 + 10.0 * u
+                }
+            }
+            WorkloadKind::RandomMix => 5.0 + 65.0 * u,
+        }
+    }
+}
+
+/// How task lengths are drawn.
+///
+/// The paper draws 100–10 000 *tuples* per task. Taken literally with
+/// page-filling tuples that yields single tasks of over two minutes — far
+/// beyond the ~40 s whole-workload turnarounds Figure 7 reports — and makes
+/// workload elapsed time dominated by one giant IO-bound scan rather than
+/// by scheduling. The default therefore draws each task's *sequential
+/// duration* uniformly in the 2–20 s range the figure implies and converts
+/// it to a tuple count at the task's rate; the literal tuple-count model
+/// remains available as [`WorkloadConfig::paper_tuple_lengths`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LengthModel {
+    /// Uniform tuple count (the paper's literal text).
+    Tuples {
+        /// Minimum tuples scanned.
+        min: u64,
+        /// Maximum tuples scanned.
+        max: u64,
+    },
+    /// Uniform sequential duration, seconds.
+    SeqTime {
+        /// Minimum `T_i`.
+        min: f64,
+        /// Maximum `T_i`.
+        max: f64,
+    },
+}
+
+/// A reproducible workload specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Class of I/O rates.
+    pub kind: WorkloadKind,
+    /// Number of tasks (the paper uses 10).
+    pub n_tasks: usize,
+    /// Task-length model.
+    pub length: LengthModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The Figure 7 setup: ten tasks, durations uniform in 2–20 s.
+    pub fn paper(kind: WorkloadKind, seed: u64) -> Self {
+        WorkloadConfig { kind, n_tasks: 10, length: LengthModel::SeqTime { min: 2.0, max: 20.0 }, seed }
+    }
+
+    /// The paper's literal task-length text: 100–10 000 tuples.
+    pub fn paper_tuple_lengths(kind: WorkloadKind, seed: u64) -> Self {
+        WorkloadConfig { kind, n_tasks: 10, length: LengthModel::Tuples { min: 100, max: 10_000 }, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_stay_inside_their_class_ranges() {
+        for kind in WorkloadKind::all() {
+            for i in 0..10 {
+                for u in [0.0, 0.25, 0.5, 0.9999] {
+                    let r = kind.rate(i, u);
+                    match kind {
+                        WorkloadKind::AllCpu => assert!((5.0..30.0).contains(&r)),
+                        WorkloadKind::AllIo => assert!(r > 30.0 && r <= 60.0),
+                        WorkloadKind::Extreme => {
+                            assert!((5.0..=15.0).contains(&r) || (60.0..=70.0).contains(&r))
+                        }
+                        WorkloadKind::RandomMix => assert!((5.0..=70.0).contains(&r)),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_alternates_classes() {
+        let k = WorkloadKind::Extreme;
+        assert!(k.rate(0, 0.5) < 30.0);
+        assert!(k.rate(1, 0.5) > 30.0);
+    }
+
+    #[test]
+    fn paper_config_defaults() {
+        let cfg = WorkloadConfig::paper(WorkloadKind::Extreme, 42);
+        assert_eq!(cfg.n_tasks, 10);
+        assert_eq!(cfg.length, LengthModel::SeqTime { min: 2.0, max: 20.0 });
+        let literal = WorkloadConfig::paper_tuple_lengths(WorkloadKind::Extreme, 42);
+        assert_eq!(literal.length, LengthModel::Tuples { min: 100, max: 10_000 });
+        // The Serialize/Deserialize impls are exercised at compile time; a
+        // value must also be cloneable and comparable for experiment logs.
+        assert_eq!(cfg, cfg.clone());
+    }
+
+    #[test]
+    fn labels_match_figure_seven() {
+        let labels: Vec<&str> = WorkloadKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["AllCPU", "AllIO", "Extreme", "Random"]);
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella package for the XPRS reproduction workspace.
+//!
+//! This package exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests under `tests/`. The actual library lives in
+//! the `xprs` facade crate and the per-subsystem crates under `crates/`.
+
+pub use xprs;

@@ -1,0 +1,151 @@
+//! Integration tests for dynamic parallelism adjustment in flight and the
+//! Section 5 memory constraint, across engines.
+
+use xprs::{PolicyKind, XprsSystem};
+use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
+use xprs_scheduler::fluid::FluidSim;
+use xprs_scheduler::intra::IntraOnly;
+use xprs_scheduler::{IoKind, MachineConfig, TaskId, TaskProfile};
+
+fn m() -> MachineConfig {
+    MachineConfig::paper_default()
+}
+
+fn seq(id: u64, t: f64, rate: f64) -> TaskProfile {
+    TaskProfile::new(TaskId(id), t, rate, IoKind::Sequential)
+}
+
+/// A staggered pair: the CPU task finishes first, so the WITH-ADJ policy
+/// must adjust the surviving IO task upward mid-flight; the fluid trace
+/// must show the survivor's parallelism increasing.
+#[test]
+fn fluid_trace_shows_the_survivor_expanding() {
+    let tasks = vec![seq(0, 40.0, 60.0), seq(1, 10.0, 8.0)];
+    let mut cfg = AdaptiveConfig::with_adjustment(m());
+    cfg.integral = false;
+    let mut p = AdaptiveScheduler::new(cfg);
+    let res = FluidSim::new(m()).run(&mut p, &tasks);
+    // Find task 0's parallelism over time.
+    let xs: Vec<f64> = res
+        .trace
+        .segments
+        .iter()
+        .filter_map(|s| s.running.iter().find(|(id, _, _)| *id == TaskId(0)).map(|(_, x, _)| *x))
+        .collect();
+    assert!(xs.len() >= 2, "expected at least two schedule segments");
+    let first = xs[0];
+    let last = *xs.last().unwrap();
+    assert!(
+        last > first + 0.5,
+        "survivor should expand after its partner finishes: {first} → {last}"
+    );
+    // And it expands to its maxp = 240/60 = 4.
+    assert!((last - 4.0).abs() < 1e-6, "survivor tail should run at maxp, got {last}");
+}
+
+/// The same staggered pair in the DES: WITH-ADJ must beat a no-adjustment
+/// run because the survivor picks up the freed processors.
+#[test]
+fn des_adjustment_speeds_up_the_tail() {
+    let sys = XprsSystem::paper_default();
+    let tasks = vec![seq(0, 40.0, 60.0), seq(1, 10.0, 8.0)];
+    let adj = sys.simulate(&tasks, PolicyKind::InterWithAdj).elapsed;
+    let noadj = sys.simulate(&tasks, PolicyKind::InterWithoutAdj).elapsed;
+    assert!(
+        adj < noadj * 0.95,
+        "adjustment should shorten the survivor's tail: {adj} vs {noadj}"
+    );
+}
+
+/// With a tight memory budget the pairing becomes impossible and WITH-ADJ
+/// degrades exactly to the intra-only schedule — never below it.
+#[test]
+fn memory_budget_degrades_to_intra_only() {
+    let mb = 1024.0 * 1024.0;
+    let tasks = vec![
+        seq(0, 20.0, 65.0).with_memory(30.0 * mb),
+        seq(1, 20.0, 8.0).with_memory(30.0 * mb),
+        seq(2, 15.0, 55.0).with_memory(30.0 * mb),
+        seq(3, 15.0, 12.0).with_memory(30.0 * mb),
+    ];
+    let mut wide = m();
+    wide.memory = f64::INFINITY;
+    let mut narrow = m();
+    narrow.memory = 40.0 * mb; // no two tasks fit together
+
+    let sim_wide = FluidSim::new(wide.clone());
+    let sim_narrow = FluidSim::new(narrow.clone());
+
+    let mut p_wide = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(wide.clone()));
+    let t_wide = sim_wide.run(&mut p_wide, &tasks).elapsed;
+
+    let mut p_narrow = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(narrow.clone()));
+    let t_narrow = sim_narrow.run(&mut p_narrow, &tasks).elapsed;
+
+    let mut intra = IntraOnly::new(narrow.clone(), true);
+    let t_intra = sim_narrow.run(&mut intra, &tasks).elapsed;
+
+    assert!(t_wide < t_narrow, "memory pressure must cost something: {t_wide} vs {t_narrow}");
+    assert!(
+        (t_narrow - t_intra).abs() < 1e-6 * t_intra,
+        "fully constrained WITH-ADJ must equal INTRA-ONLY: {t_narrow} vs {t_intra}"
+    );
+}
+
+/// A partner that fits is preferred over a better-rate partner that does
+/// not, end to end through the fluid engine.
+#[test]
+fn scheduler_substitutes_fitting_partners_under_pressure() {
+    let mb = 1024.0 * 1024.0;
+    let mut machine = m();
+    machine.memory = 50.0 * mb;
+    let tasks = vec![
+        seq(0, 20.0, 65.0).with_memory(40.0 * mb), // IO-bound, big
+        seq(1, 20.0, 5.0).with_memory(30.0 * mb),  // best CPU partner, does not fit
+        seq(2, 20.0, 12.0).with_memory(5.0 * mb),  // second-best, fits
+    ];
+    let mut p = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(machine.clone()));
+    let res = FluidSim::new(machine).run(&mut p, &tasks);
+    // In the very first segment the IO task must be paired with task 2.
+    let first = &res.trace.segments[0];
+    let ids: Vec<u64> = first.running.iter().map(|(id, _, _)| id.0).collect();
+    assert!(ids.contains(&0) && ids.contains(&2), "expected pair (0, 2), got {ids:?}");
+    assert!(!ids.contains(&1), "task 1 must be deferred (does not fit)");
+}
+
+/// Memory constraints also flow through the optimizer: fragments carry
+/// footprints, and a tiny machine memory changes the parcost estimate.
+#[test]
+fn fragment_memory_affects_parcost_under_a_tiny_budget() {
+    use xprs::storage::{Datum, Schema, Tuple};
+    use xprs::{Costing, Query};
+
+    let build = |memory: f64| {
+        let mut machine = m();
+        machine.memory = memory;
+        let mut sys = XprsSystem::new(machine);
+        for (name, n, blen) in [("big_a", 3000u64, 700usize), ("big_b", 3000, 700)] {
+            let cat = sys.catalog_mut();
+            cat.create(name, Schema::paper_rel());
+            cat.load(
+                name,
+                (0..n).map(|i| {
+                    Tuple::from_values(vec![Datum::Int(i as i32), Datum::Text("x".repeat(blen))])
+                }),
+            );
+        }
+        let q = Query::join().rel("big_a", 1.0).rel("big_b", 1.0).on(0, 1).build();
+        sys.optimize(&q, Costing::ParCost)
+    };
+    let unconstrained = build(f64::INFINITY);
+    // Budget below the combined fragment footprints: concurrent execution of
+    // build and probe fragments is forbidden, so the estimate cannot improve.
+    let tight = build(1024.0);
+    assert!(unconstrained.fragments.fragments.iter().all(|f| f.profile.memory > 0.0));
+    assert!(
+        tight.parcost >= unconstrained.parcost - 1e-9,
+        "a tighter memory budget cannot make the plan faster: {} vs {}",
+        tight.parcost,
+        unconstrained.parcost
+    );
+}

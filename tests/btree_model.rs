@@ -1,0 +1,72 @@
+//! Model-based property test: the from-scratch B+-tree must agree with
+//! `std::collections::BTreeMap` on every operation sequence, and keep its
+//! structural invariants throughout.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use xprs_storage::{BTreeIndex, TupleId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i32, u64, u16),
+    Lookup(i32),
+    Range(i32, i32),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-200i32..200, 0u64..1000, 0u16..16).prop_map(|(k, b, s)| Op::Insert(k, b, s)),
+        (-250i32..250).prop_map(Op::Lookup),
+        (-250i32..250, -250i32..250).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_agrees_with_the_std_model(ops in proptest::collection::vec(op(), 1..800)) {
+        let mut tree = BTreeIndex::new(false);
+        let mut model: BTreeMap<i32, Vec<TupleId>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, b, s) => {
+                    let tid = TupleId { block: b, slot: s };
+                    tree.insert(k, tid);
+                    model.entry(k).or_default().push(tid);
+                }
+                Op::Lookup(k) => {
+                    let got = tree.lookup(k);
+                    let want = model.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+                    prop_assert_eq!(got, want, "lookup({}) diverged", k);
+                }
+                Op::Range(lo, hi) => {
+                    let got = tree.range(lo, hi);
+                    let want: Vec<(i32, TupleId)> = model
+                        .range(lo..=hi)
+                        .flat_map(|(k, tids)| tids.iter().map(move |t| (*k, *t)))
+                        .collect();
+                    prop_assert_eq!(got, want, "range({},{}) diverged", lo, hi);
+                }
+            }
+        }
+        tree.check_invariants();
+        let n: u64 = model.values().map(|v| v.len() as u64).sum();
+        prop_assert_eq!(tree.n_entries(), n);
+    }
+
+    /// Bulk ascending/descending/shuffled loads keep the invariants and the
+    /// full-range scan returns everything in order.
+    #[test]
+    fn bulk_load_orders(keys in proptest::collection::vec(-10_000i32..10_000, 0..3000)) {
+        let mut tree = BTreeIndex::new(true);
+        for (i, &k) in keys.iter().enumerate() {
+            tree.insert(k, TupleId { block: i as u64, slot: 0 });
+        }
+        tree.check_invariants();
+        let all = tree.range(i32::MIN, i32::MAX);
+        prop_assert_eq!(all.len(), keys.len());
+        prop_assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "range scan out of order");
+    }
+}

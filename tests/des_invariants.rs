@@ -1,0 +1,101 @@
+//! Property tests over the discrete-event simulator: physical conservation
+//! laws and cross-policy sanity on randomized workloads.
+
+use proptest::prelude::*;
+use xprs::{PolicyKind, XprsSystem};
+use xprs_scheduler::{IoKind, TaskId, TaskProfile};
+
+fn task_set() -> impl Strategy<Value = Vec<TaskProfile>> {
+    proptest::collection::vec((5.0f64..70.0, 0.5f64..6.0, proptest::bool::ANY), 1..7).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (rate, t, random))| {
+                    // Random-kind tasks are capped by the solo random rate.
+                    let (rate, kind) = if random && rate < 34.0 {
+                        (rate, IoKind::Random)
+                    } else {
+                        (rate, IoKind::Sequential)
+                    };
+                    TaskProfile::new(TaskId(i as u64), t, rate, kind)
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Busy time can never exceed capacity × elapsed, every task finishes
+    /// after it starts, and the elapsed time respects the physical floors.
+    #[test]
+    fn conservation_laws_hold(tasks in task_set(), policy_idx in 0usize..3) {
+        let sys = XprsSystem::paper_default();
+        let policy = PolicyKind::all()[policy_idx];
+        let report = sys.simulate(&tasks, policy);
+        let m = sys.machine();
+
+        prop_assert!(report.elapsed > 0.0);
+        prop_assert!(report.cpu_busy <= m.n_procs as f64 * report.elapsed * (1.0 + 1e-9),
+            "CPU busy {} exceeds capacity over {}", report.cpu_busy, report.elapsed);
+        prop_assert!(report.disk.busy_time <= m.n_disks as f64 * report.elapsed * (1.0 + 1e-9),
+            "disk busy {} exceeds capacity over {}", report.disk.busy_time, report.elapsed);
+
+        // Every task has a sane lifetime, and the last finish is the elapsed.
+        let mut latest: f64 = 0.0;
+        for (id, start, finish) in &report.task_times {
+            prop_assert!(finish >= start, "task {id} finished before starting");
+            latest = latest.max(*finish);
+        }
+        prop_assert!((latest - report.elapsed).abs() < 1e-9);
+
+        // The machine served every I/O the tasks were calibrated to issue.
+        let total_ios: f64 = tasks.iter().map(|t| t.total_ios().round().max(1.0)).sum();
+        prop_assert_eq!(report.disk.total() as f64, total_ios);
+
+        // Physical floor: the disks cannot deliver faster than the best-case
+        // aggregate bandwidth.
+        prop_assert!(report.elapsed >= total_ios / m.total_seq_bandwidth() - 1e-9);
+    }
+
+    /// The paper's algorithm never loses badly to the baseline: WITH-ADJ is
+    /// within a whisker of INTRA-ONLY on any workload (it falls back to
+    /// intra-only execution whenever pairing is unattractive).
+    #[test]
+    fn with_adj_never_loses_materially(tasks in task_set()) {
+        let sys = XprsSystem::paper_default();
+        let intra = sys.simulate(&tasks, PolicyKind::IntraOnly).elapsed;
+        let adj = sys.simulate(&tasks, PolicyKind::InterWithAdj).elapsed;
+        prop_assert!(
+            adj <= intra * 1.08 + 0.1,
+            "WITH-ADJ {adj} lost to INTRA-ONLY {intra}"
+        );
+    }
+
+    /// Determinism: the DES is a pure function of its inputs.
+    #[test]
+    fn simulation_is_deterministic(tasks in task_set(), policy_idx in 0usize..3) {
+        let sys = XprsSystem::paper_default();
+        let policy = PolicyKind::all()[policy_idx];
+        let a = sys.simulate(&tasks, policy);
+        let b = sys.simulate(&tasks, policy);
+        prop_assert_eq!(a.elapsed, b.elapsed);
+        prop_assert_eq!(a.n_events, b.n_events);
+        prop_assert_eq!(a.disk.total(), b.disk.total());
+    }
+
+    /// The fluid model and the DES agree within a factor-band: the DES pays
+    /// real queueing and seek costs, so it may be slower, but never faster
+    /// than the idealized arithmetic by more than rounding, and never slower
+    /// than 2× on these small mixes.
+    #[test]
+    fn fluid_and_des_are_banded(tasks in task_set()) {
+        let sys = XprsSystem::paper_default();
+        let fluid = sys.estimate(&tasks, PolicyKind::InterWithAdj).elapsed;
+        let des = sys.simulate(&tasks, PolicyKind::InterWithAdj).elapsed;
+        prop_assert!(des >= fluid * 0.85, "DES {des} implausibly beat the fluid bound {fluid}");
+        prop_assert!(des <= fluid * 2.0 + 0.5, "DES {des} wildly exceeds the fluid estimate {fluid}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Guard rails on the headline reproduction: the qualitative shape of
+//! Figure 7 must hold on both measurement engines, averaged over seeds.
+
+use xprs::{PolicyKind, XprsSystem};
+use xprs_workload::{WorkloadConfig, WorkloadGenerator, WorkloadKind};
+
+const SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+
+fn mean_elapsed(
+    sys: &XprsSystem,
+    kind: WorkloadKind,
+    policy: PolicyKind,
+    des: bool,
+) -> f64 {
+    let sum: f64 = SEEDS
+        .iter()
+        .map(|&s| {
+            let tasks = WorkloadGenerator::new()
+                .generate(&WorkloadConfig::paper(kind, s))
+                .profiles();
+            if des {
+                sys.simulate(&tasks, policy).elapsed
+            } else {
+                sys.estimate(&tasks, policy).elapsed
+            }
+        })
+        .sum();
+    sum / SEEDS.len() as f64
+}
+
+fn shapes(des: bool) {
+    let sys = XprsSystem::paper_default();
+    let engine = if des { "DES" } else { "fluid" };
+
+    // Uniform workloads: the three algorithms are essentially equal
+    // (INTER-W/O-ADJ may pay a modest penalty for naive stacking).
+    for kind in [WorkloadKind::AllCpu, WorkloadKind::AllIo] {
+        let intra = mean_elapsed(&sys, kind, PolicyKind::IntraOnly, des);
+        let adj = mean_elapsed(&sys, kind, PolicyKind::InterWithAdj, des);
+        assert!(
+            (adj - intra).abs() / intra < 0.02,
+            "{engine}/{}: WITH-ADJ must match INTRA-ONLY on a uniform workload ({adj} vs {intra})",
+            kind.label()
+        );
+    }
+
+    // Mixed workloads: WITH-ADJ clearly beats INTRA-ONLY on Extreme and is
+    // at least as good on Random.
+    let intra_x = mean_elapsed(&sys, WorkloadKind::Extreme, PolicyKind::IntraOnly, des);
+    let adj_x = mean_elapsed(&sys, WorkloadKind::Extreme, PolicyKind::InterWithAdj, des);
+    assert!(
+        adj_x < intra_x * 0.97,
+        "{engine}/Extreme: WITH-ADJ must win clearly ({adj_x} vs {intra_x})"
+    );
+    let intra_r = mean_elapsed(&sys, WorkloadKind::RandomMix, PolicyKind::IntraOnly, des);
+    let adj_r = mean_elapsed(&sys, WorkloadKind::RandomMix, PolicyKind::InterWithAdj, des);
+    assert!(
+        adj_r <= intra_r * 1.01,
+        "{engine}/Random: WITH-ADJ must not lose ({adj_r} vs {intra_r})"
+    );
+
+    // The paper's negative result: pairing WITHOUT dynamic adjustment is
+    // not competitive — it loses to WITH-ADJ everywhere and even to
+    // INTRA-ONLY on the random mix.
+    for kind in WorkloadKind::all() {
+        let noadj = mean_elapsed(&sys, kind, PolicyKind::InterWithoutAdj, des);
+        let adj = mean_elapsed(&sys, kind, PolicyKind::InterWithAdj, des);
+        assert!(
+            adj <= noadj * 1.02,
+            "{engine}/{}: WITHOUT-ADJ must not beat WITH-ADJ ({noadj} vs {adj})",
+            kind.label()
+        );
+    }
+    let noadj_r = mean_elapsed(&sys, WorkloadKind::RandomMix, PolicyKind::InterWithoutAdj, des);
+    assert!(
+        noadj_r > intra_r * 1.05,
+        "{engine}/Random: WITHOUT-ADJ should lose to INTRA-ONLY ({noadj_r} vs {intra_r})"
+    );
+}
+
+#[test]
+fn figure7_shape_holds_on_the_fluid_engine() {
+    shapes(false);
+}
+
+#[test]
+fn figure7_shape_holds_on_the_des_engine() {
+    shapes(true);
+}
+
+#[test]
+fn des_and_fluid_agree_on_the_winner_per_workload() {
+    let sys = XprsSystem::paper_default();
+    for kind in [WorkloadKind::Extreme, WorkloadKind::RandomMix] {
+        let fluid_best = PolicyKind::all()
+            .into_iter()
+            .min_by(|a, b| {
+                mean_elapsed(&sys, kind, *a, false).total_cmp(&mean_elapsed(&sys, kind, *b, false))
+            })
+            .unwrap();
+        let des_best = PolicyKind::all()
+            .into_iter()
+            .min_by(|a, b| {
+                mean_elapsed(&sys, kind, *a, true).total_cmp(&mean_elapsed(&sys, kind, *b, true))
+            })
+            .unwrap();
+        assert_eq!(
+            fluid_best.label(),
+            des_best.label(),
+            "engines disagree on the best policy for {}",
+            kind.label()
+        );
+    }
+}

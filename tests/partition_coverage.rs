@@ -1,0 +1,137 @@
+//! Property tests for the Section 2.4 adjustment protocols: every page and
+//! every key is handed out exactly once, no matter how parallelism is
+//! adjusted mid-scan.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use xprs_storage::partition::{KeyRange, PagePartition, RangePartition};
+
+/// A script of (work-units-before-adjust, new-parallelism) steps.
+fn adjust_script() -> impl Strategy<Value = Vec<(u16, u8)>> {
+    proptest::collection::vec((0u16..200, 1u8..10), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Page partitioning covers every page exactly once under arbitrary
+    /// grow/shrink adjustments at arbitrary points, with workers pulling in
+    /// arbitrary (round-robin-ish, seeded) order.
+    #[test]
+    fn page_partition_exactly_once(
+        n_pages in 1u64..600,
+        init in 1u32..9,
+        script in adjust_script(),
+        pull_seed in 0u64..u64::MAX,
+    ) {
+        let mut p = PagePartition::new(n_pages, init);
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        let mut script = script.into_iter();
+        let mut next_adjust = script.next();
+        let mut since_adjust = 0u16;
+        let mut rng = pull_seed;
+
+        loop {
+            // Pick a pseudo-random live slot to pull next.
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let start = (rng >> 33) as usize % p.n_slots();
+            let mut pulled = None;
+            for off in 0..p.n_slots() {
+                let slot = (start + off) % p.n_slots();
+                if let Some(page) = p.next_page(slot) {
+                    pulled = Some((slot, page));
+                    break;
+                }
+            }
+            let Some((slot, page)) = pulled else { break };
+            prop_assert!(page < n_pages);
+            prop_assert!(seen.insert(page, slot).is_none(), "page {page} scanned twice");
+            since_adjust += 1;
+            if let Some((after, par)) = next_adjust {
+                if since_adjust >= after {
+                    p.adjust(par as u32);
+                    since_adjust = 0;
+                    next_adjust = script.next();
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, n_pages, "pages lost");
+    }
+
+    /// Range partitioning conserves the key space across re-partitioning.
+    #[test]
+    fn range_partition_exactly_once(
+        lo in -500i64..500,
+        width in 1i64..800,
+        init in 1u32..9,
+        script in adjust_script(),
+        pull_seed in 0u64..u64::MAX,
+    ) {
+        let hi = lo + width - 1;
+        let mut p = RangePartition::new(lo, hi, init);
+        let mut seen = std::collections::HashSet::new();
+        let mut script = script.into_iter();
+        let mut next_adjust = script.next();
+        let mut since_adjust = 0u16;
+        let mut rng = pull_seed;
+
+        loop {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let start = (rng >> 33) as usize % p.n_slots();
+            let mut pulled = None;
+            for off in 0..p.n_slots() {
+                let slot = (start + off) % p.n_slots();
+                if let Some(k) = p.next_key(slot) {
+                    pulled = Some(k);
+                    break;
+                }
+            }
+            let Some(k) = pulled else { break };
+            prop_assert!((lo..=hi).contains(&k));
+            prop_assert!(seen.insert(k), "key {k} scanned twice");
+            since_adjust += 1;
+            if let Some((after, par)) = next_adjust {
+                if since_adjust >= after {
+                    p.adjust(par as u32);
+                    since_adjust = 0;
+                    next_adjust = script.next();
+                }
+            }
+        }
+        prop_assert_eq!(seen.len() as i64, width, "keys lost");
+    }
+
+    /// After any adjustment the remaining intervals are disjoint and
+    /// balanced to within one key.
+    #[test]
+    fn range_adjustment_balances_remaining_work(
+        consumed in 0usize..100,
+        new_par in 1u32..9,
+    ) {
+        let mut p = RangePartition::new(0, 299, 3);
+        for _ in 0..consumed {
+            for slot in 0..3 {
+                p.next_key(slot);
+            }
+        }
+        p.adjust(new_par);
+        let active = p.active_slots();
+        prop_assert_eq!(active.len(), new_par as usize);
+        let sizes: Vec<u64> = active
+            .iter()
+            .map(|&s| p.remaining(s).iter().map(KeyRange::len).sum())
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(total as usize, 300 - 3 * consumed.min(100));
+        if total > 0 {
+            prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+        // Disjointness across all slots.
+        let mut all: Vec<KeyRange> = active.iter().flat_map(|&s| p.remaining(s)).collect();
+        all.sort_by_key(|r| r.lo);
+        for w in all.windows(2) {
+            prop_assert!(w[0].hi < w[1].lo, "overlapping intervals {:?} {:?}", w[0], w[1]);
+        }
+    }
+}
