@@ -18,8 +18,161 @@
 //! | `ablation_two_tasks` | the "two tasks suffice" claim vs k-way co-scheduling |
 
 use xprs::{PolicyKind, XprsSystem};
-use xprs_scheduler::TaskProfile;
+use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
+use xprs_scheduler::{MachineConfig, TaskProfile};
 use xprs_workload::{WorkloadConfig, WorkloadGenerator, WorkloadKind};
+
+/// A policy that runs fragments **one at a time**, each with a fixed worker
+/// count, and never adjusts.
+///
+/// The executor benches need the worker count to be the *independent
+/// variable*; the paper's policies compute their own allocations (and
+/// `IntraOnly` always uses the whole machine), so none of them can hold
+/// parallelism at 1, 2, 4, 8 for a throughput curve. Fragments run
+/// serially so a multi-query bench exercises fragment turnaround — the
+/// regime where per-slot thread staffing cost shows.
+pub struct FixedParallelism {
+    machine: MachineConfig,
+    workers: u32,
+    pending: Vec<TaskProfile>,
+}
+
+impl FixedParallelism {
+    /// A policy for `machine` starting every fragment with `workers` workers.
+    pub fn new(machine: MachineConfig, workers: u32) -> Self {
+        assert!(workers >= 1);
+        FixedParallelism { machine, workers, pending: Vec::new() }
+    }
+}
+
+impl SchedulePolicy for FixedParallelism {
+    fn name(&self) -> &'static str {
+        "fixed-parallelism"
+    }
+
+    fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    fn on_arrival(&mut self, _now: f64, task: TaskProfile) {
+        self.pending.push(task);
+    }
+
+    fn on_finish(&mut self, _now: f64, _id: xprs_scheduler::TaskId) {}
+
+    fn decide(&mut self, _now: f64, running: &[RunningTask]) -> Vec<Action> {
+        if !running.is_empty() || self.pending.is_empty() {
+            return Vec::new();
+        }
+        let t = self.pending.remove(0);
+        vec![Action::Start { id: t.id, parallelism: self.workers as f64 }]
+    }
+}
+
+/// Shared scenario for the executor data-path benches: a parallel full scan
+/// of one relation, with the worker count and the [`xprs_executor::DataPath`]
+/// as the independent variables.
+pub mod exec_scan {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use xprs_disk::StripedLayout;
+    use xprs_executor::{DataPath, ExecConfig, Executor, QueryRun, RelBinding};
+    use xprs_optimizer::{Costing, Query, TwoPhaseOptimizer};
+    use xprs_scheduler::MachineConfig;
+    use xprs_storage::{Catalog, Datum, Schema, Tuple};
+
+    use super::FixedParallelism;
+
+    /// One timed scan workload: wall times plus the counters the bench
+    /// reports.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ScanRun {
+        /// Tuples the workload examined (relation cardinality × queries).
+        pub tuples: u64,
+        /// Tuples the selections emitted (sanity check, > 0).
+        pub emitted: u64,
+        /// Wall-clock seconds for the whole run.
+        pub wall: f64,
+        /// Wall-clock seconds of the scan phase — first fragment start to
+        /// last fragment finish, the span the data path determines.
+        pub scan_wall: f64,
+        /// Buffer-pool hit fraction over the run.
+        pub hit_rate: f64,
+        /// OS threads the run created (pool growth, or one per slot on the
+        /// seed path).
+        pub pool_threads: u64,
+        /// Worker-slot staffing jobs submitted.
+        pub pool_jobs: u64,
+    }
+
+    /// A catalog holding one `scan_src(a, b)` relation of `n_tuples`
+    /// minimum-size tuples (the paper's `r_min` shape: hundreds of tuples
+    /// per page, so the scan is emit-rate-bound — the regime where data-path
+    /// contention shows, per §2.3's CPU-bound end of the balance spectrum).
+    pub fn catalog(n_tuples: u64) -> Arc<Catalog> {
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        cat.create("scan_src", Schema::paper_rel());
+        let mut seed = 0xBEEF_u64;
+        let rows: Vec<Tuple> = (0..n_tuples)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((seed >> 33) % 1000) as i32;
+                Tuple::from_values(vec![Datum::Int(a), Datum::Text(String::new())])
+            })
+            .collect();
+        cat.load("scan_src", rows);
+        cat.build_index("scan_src", false);
+        Arc::new(cat)
+    }
+
+    /// Executor configuration for the scan benches: full speed (no
+    /// throttling sleeps), `path` selecting the hot-path implementation.
+    pub fn config(path: DataPath) -> ExecConfig {
+        ExecConfig::unthrottled().with_data_path(path)
+    }
+
+    /// Run `n_queries` back-to-back parallel selections over `scan_src`
+    /// with `workers` workers each, on data path `path`.
+    ///
+    /// Every query page-scans the whole relation; the selection predicate
+    /// keeps ~5% of the tuples so the (single-threaded, path-independent)
+    /// result harvest stays negligible next to the scan itself. Sequential
+    /// queries make fragment turnaround part of the measurement — exactly
+    /// where the seed's per-slot thread staffing pays and the persistent
+    /// pool does not.
+    pub fn run(cat: &Arc<Catalog>, workers: u32, path: DataPath, n_queries: usize) -> ScanRun {
+        let relation_tuples = cat.get("scan_src").expect("bench relation").stats().n_tuples;
+        let q = Query::selection("scan_src", 1.0);
+        let optimized = TwoPhaseOptimizer::paper_default().optimize_catalog(cat, &q, Costing::SeqCost);
+        let bindings = vec![RelBinding { name: "scan_src".into(), pred: (0, 49) }];
+        let runs: Vec<QueryRun> = (0..n_queries)
+            .map(|_| QueryRun { optimized: optimized.clone(), bindings: bindings.clone() })
+            .collect();
+        let exec = Executor::new(config(path), cat.clone());
+        let mut policy = FixedParallelism::new(MachineConfig::paper_default(), workers);
+        let t0 = Instant::now();
+        let report = exec.run(&runs, &mut policy).expect("bench scan failed");
+        let wall = t0.elapsed().as_secs_f64();
+        let first_start =
+            report.fragment_times.iter().map(|&(_, s, _)| s).fold(f64::INFINITY, f64::min);
+        let last_finish =
+            report.fragment_times.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
+        let pool = &report.pool_shards;
+        let (hits, misses) = pool
+            .iter()
+            .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
+        ScanRun {
+            tuples: relation_tuples * n_queries as u64,
+            emitted: report.results.iter().map(|r| r.rows.rows.len() as u64).sum(),
+            wall,
+            scan_wall: last_finish - first_start,
+            hit_rate: if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
+            pool_threads: report.pool_threads,
+            pool_jobs: report.pool_jobs,
+        }
+    }
+}
 
 /// Mean of a slice.
 pub fn mean(xs: &[f64]) -> f64 {

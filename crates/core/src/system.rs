@@ -207,6 +207,7 @@ impl XprsSystem {
             .collect();
         let mut p = policy.build(&self.machine, true);
         exec.run(&runs, p.as_mut())
+            .unwrap_or_else(|e| panic!("query execution failed: {e}"))
     }
 }
 

@@ -1,5 +1,5 @@
 //! The shared machine throttle: disks behind mutexes, processors behind a
-//! counting semaphore.
+//! counting semaphore, pages behind a sharded buffer pool.
 //!
 //! A disk serves one request at a time, so a mutex per disk *is* the disk:
 //! the holder classifies its request against the head state from
@@ -11,14 +11,31 @@
 //! The CPU gate bounds the number of workers concurrently evaluating
 //! qualifications to the machine's processor count `N`, modelling the
 //! paper's processor allocation on hosts with arbitrarily many cores.
+//! Waiters **park on a condvar** — there is no spin/yield loop anywhere on
+//! the issue path.
+//!
+//! The buffer pool is a [`ShardedBufferPool`]: each page hashes to one of
+//! `n` independently latched shards, so concurrent scans no longer
+//! serialize on a single pool mutex (§2.2–2.3's balance point assumes the
+//! engine itself adds no shared-resource interference). One shard
+//! reproduces the seed's global-latch behaviour bit-for-bit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
 use xprs_disk::{ArrayStats, DiskParams, DiskState, IoRequest, RelId, ServiceClass, StripedLayout, WorkerId};
 use xprs_scheduler::MachineConfig;
-use xprs_storage::{BufferPool, PoolStats};
+use xprs_storage::bufpool::FetchOutcome;
+use xprs_storage::{PoolStats, ShardedBufferPool};
+
+/// Lock acquisition that shrugs off poisoning: the guarded state is
+/// bookkeeping (disk head positions, counters), and a worker panic is
+/// reported through the master channel — the remaining workers must still
+/// be able to drain.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A counting semaphore: at most `permits` holders at a time.
 #[derive(Debug)]
@@ -35,11 +52,11 @@ impl CpuGate {
         CpuGate { inner: Mutex::new(permits), cv: Condvar::new(), capacity: permits }
     }
 
-    /// Acquire one processor, blocking until one is free.
+    /// Acquire one processor, parking until one is free.
     pub fn acquire(&self) -> CpuPermit<'_> {
-        let mut free = self.inner.lock();
+        let mut free = lock(&self.inner);
         while *free == 0 {
-            self.cv.wait(&mut free);
+            free = self.cv.wait(free).unwrap_or_else(PoisonError::into_inner);
         }
         *free -= 1;
         CpuPermit { gate: self }
@@ -51,7 +68,7 @@ impl CpuGate {
     }
 
     fn release(&self) {
-        let mut free = self.inner.lock();
+        let mut free = lock(&self.inner);
         *free += 1;
         debug_assert!(*free <= self.capacity);
         self.cv.notify_one();
@@ -77,7 +94,7 @@ pub struct MachineStats {
     pub disk: ArrayStats,
     /// Total page reads issued (buffer hits + disk reads).
     pub reads: u64,
-    /// Buffer-pool counters.
+    /// Buffer-pool counters (summed over shards).
     pub pool: PoolStats,
 }
 
@@ -87,8 +104,9 @@ pub struct Machine {
     layout: StripedLayout,
     disks: Vec<Mutex<DiskState>>,
     cpu: CpuGate,
-    /// Shared buffer pool; a hit skips the disk entirely.
-    pool: Option<Mutex<BufferPool>>,
+    /// Sharded buffer pool; a hit skips the disk entirely. Not wrapped in a
+    /// machine-level mutex — each shard carries its own latch.
+    pool: Option<ShardedBufferPool>,
     /// Wall-clock seconds per simulated second (0 disables sleeping).
     scale: f64,
     reads: AtomicU64,
@@ -100,19 +118,31 @@ impl Machine {
     /// seconds to wall-clock sleeps: `0.0` runs at full speed (functional
     /// testing), `1.0` runs in real time, `0.01` runs 100× fast.
     pub fn new(cfg: &MachineConfig, scale: f64) -> Self {
-        Self::with_pool(cfg, scale, 0)
+        Self::with_sharded_pool(cfg, scale, 0, 1)
     }
 
-    /// Like [`Machine::new`], with a shared buffer pool of `pool_pages`
-    /// frames (0 disables buffering; every read hits a disk).
+    /// Like [`Machine::new`], with a single-latch buffer pool of
+    /// `pool_pages` frames (0 disables buffering; every read hits a disk).
+    /// This is the seed's global-lock configuration.
     pub fn with_pool(cfg: &MachineConfig, scale: f64, pool_pages: usize) -> Self {
+        Self::with_sharded_pool(cfg, scale, pool_pages, 1)
+    }
+
+    /// Like [`Machine::with_pool`], with the frames split over `shards`
+    /// page-hashed shards, each independently latched.
+    pub fn with_sharded_pool(
+        cfg: &MachineConfig,
+        scale: f64,
+        pool_pages: usize,
+        shards: usize,
+    ) -> Self {
         assert!(scale >= 0.0 && scale.is_finite(), "invalid time scale {scale}");
         let params = DiskParams::from_rates(cfg.seq_bw, cfg.almost_seq_bw, cfg.random_bw);
         Machine {
             layout: StripedLayout::new(cfg.n_disks),
             disks: (0..cfg.n_disks).map(|_| Mutex::new(DiskState::new(params.clone()))).collect(),
             cpu: CpuGate::new(cfg.n_procs),
-            pool: (pool_pages > 0).then(|| Mutex::new(BufferPool::new(pool_pages))),
+            pool: (pool_pages > 0).then(|| ShardedBufferPool::new(pool_pages, shards)),
             scale,
             reads: AtomicU64::new(0),
             worker_ids: AtomicU64::new(0),
@@ -127,6 +157,11 @@ impl Machine {
     /// The processor gate.
     pub fn cpu(&self) -> &CpuGate {
         &self.cpu
+    }
+
+    /// The time scale (wall seconds per simulated second).
+    pub fn scale(&self) -> f64 {
+        self.scale
     }
 
     /// Allocate a machine-unique worker identity (for head-state tracking).
@@ -146,19 +181,13 @@ impl Machine {
         solo: bool,
     ) -> Option<ServiceClass> {
         self.reads.fetch_add(1, Ordering::Relaxed);
+        let mut pinned_miss = false;
         if let Some(pool) = &self.pool {
-            let outcome = pool.lock().fetch(rel, global_block);
-            match outcome {
-                Ok(xprs_storage::bufpool::FetchOutcome::Hit) => {
-                    pool.lock().unpin(rel, global_block);
-                    return None;
-                }
-                Ok(xprs_storage::bufpool::FetchOutcome::Miss) => {
-                    // Fall through to the disk; unpin after the read (our
-                    // workers copy what they need out of the page image).
-                }
+            match pool.access(rel, global_block) {
+                Ok(FetchOutcome::Hit) => return None,
+                Ok(FetchOutcome::Miss) => pinned_miss = true,
                 Err(_) => {
-                    // Pool exhausted by concurrent pins: bypass it.
+                    // Shard exhausted by concurrent pins: bypass the pool.
                 }
             }
         }
@@ -170,7 +199,7 @@ impl Machine {
             solo,
         };
         let class = {
-            let mut d = self.disks[disk].lock();
+            let mut d = lock(&self.disks[disk]);
             let (class, dur) = d.serve(&req);
             if self.scale > 0.0 {
                 // Sleeping while holding the lock serializes the disk — that
@@ -179,10 +208,9 @@ impl Machine {
             }
             class
         };
-        if let Some(pool) = &self.pool {
-            let mut p = pool.lock();
-            if p.contains(rel, global_block) {
-                p.unpin(rel, global_block);
+        if pinned_miss {
+            if let Some(pool) = &self.pool {
+                pool.finish_read(rel, global_block);
             }
         }
         Some(class)
@@ -200,7 +228,7 @@ impl Machine {
     pub fn stats(&self) -> MachineStats {
         let mut disk = ArrayStats::default();
         for d in &self.disks {
-            let d = d.lock();
+            let d = lock(d);
             disk.sequential += d.count_of(ServiceClass::Sequential);
             disk.almost_sequential += d.count_of(ServiceClass::AlmostSequential);
             disk.random += d.count_of(ServiceClass::Random);
@@ -209,8 +237,13 @@ impl Machine {
         MachineStats {
             disk,
             reads: self.reads.load(Ordering::Relaxed),
-            pool: self.pool.as_ref().map(|p| p.lock().stats()).unwrap_or_default(),
+            pool: self.pool.as_ref().map(|p| p.stats()).unwrap_or_default(),
         }
+    }
+
+    /// Per-shard buffer-pool counters (empty when buffering is disabled).
+    pub fn pool_shard_stats(&self) -> Vec<PoolStats> {
+        self.pool.as_ref().map(|p| p.shard_stats()).unwrap_or_default()
     }
 }
 
@@ -314,6 +347,26 @@ mod tests {
         assert_eq!(s.disk.total(), 32);
         assert_eq!(s.pool.hits, 32);
         assert_eq!(s.pool.misses, 32);
+    }
+
+    #[test]
+    fn sharded_pool_matches_single_latch_hit_counts_on_reuse() {
+        // Working set ≤ per-shard capacity × shards with uniform hashing:
+        // a warm second pass must be all hits in both configurations.
+        let cfg = MachineConfig::paper_default();
+        for shards in [1usize, 4, 8] {
+            let m = Machine::with_sharded_pool(&cfg, 0.0, 256, shards);
+            let w = m.new_worker_id();
+            for pass in 0..2 {
+                for b in 0..64u64 {
+                    let hit = m.read(RelId(1), b, w, true).is_none();
+                    assert_eq!(hit, pass == 1, "shards={shards} pass={pass} block={b}");
+                }
+            }
+            let s = m.stats();
+            assert_eq!((s.pool.hits, s.pool.misses), (64, 64), "shards={shards}");
+            assert_eq!(m.pool_shard_stats().len(), shards);
+        }
     }
 
     #[test]

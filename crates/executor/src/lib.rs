@@ -22,15 +22,20 @@
 //!   assignments through the Section 2.4 partition structures, so dynamic
 //!   parallelism adjustment needs no thread cancellation.
 //! * [`master`] — the driver: executes one or many optimized queries under
-//!   any [`xprs_scheduler::SchedulePolicy`], spawning and re-partitioning
-//!   worker threads as the policy directs.
+//!   any [`xprs_scheduler::SchedulePolicy`], staffing and re-partitioning
+//!   worker slots on a persistent thread [`pool`] as the policy directs.
+//! * [`pool`] — the persistent slave-backend thread pool: parallelism
+//!   adjustments park and unpark long-lived threads instead of spawning and
+//!   joining OS threads per slot.
 
 pub mod io;
 pub mod master;
+pub mod pool;
 pub mod program;
 pub mod worker;
 
 pub use io::{CpuGate, Machine, MachineStats};
-pub use master::{ExecConfig, ExecReport, Executor, QueryResult, QueryRun};
+pub use master::{DataPath, ExecConfig, ExecError, ExecReport, Executor, QueryResult, QueryRun};
+pub use pool::WorkerPool;
 pub use program::{compile, FragmentProgram, Materialized, PipelineOp, ProgramSet};
 pub use worker::RelBinding;

@@ -3,27 +3,46 @@
 //! The master owns the clock and the policy. For every optimized query it
 //! compiles the plan into fragment programs, announces runnable fragments to
 //! the policy as they become ready (roots first, consumers as their
-//! producers finish), applies `Start` actions by spawning slave-backend
-//! threads, and applies `Adjust` actions by running the Section 2.4
-//! protocols on the shared partition state and staffing any newly created
-//! worker slots.
+//! producers finish), applies `Start` actions by staffing slave-backend
+//! worker slots on the persistent [`WorkerPool`], and applies `Adjust`
+//! actions by running the Section 2.4 protocols on the shared partition
+//! state and staffing any newly created worker slots. Staffing is a queue
+//! push that unparks a long-lived pool thread — no OS thread is spawned or
+//! joined per slot.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
 use xprs_optimizer::OptimizedQuery;
 use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
 use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
 use xprs_storage::partition::{PagePartition, RangePartition};
 use xprs_storage::Catalog;
 
-use crate::io::{Machine, MachineStats};
+use crate::io::{lock, Machine, MachineStats};
+use crate::pool::WorkerPool;
 use crate::program::{compile, Driver, Materialized};
-use crate::worker::{run_worker, FragCtx, PartitionState, RelBinding};
+use crate::worker::{run_worker, FragCtx, OutputSink, PartitionState, RelBinding};
+
+/// Which executor data path to run.
+///
+/// [`DataPath::Decontended`] is the production path: per-worker batched
+/// output, batched CPU-gate accounting, the sharded buffer pool, and
+/// worker slots staffed on the persistent [`WorkerPool`].
+/// [`DataPath::GlobalLock`] reproduces the seed's behaviour — one lock
+/// round per result tuple, one gate acquisition per compute call, one
+/// buffer-pool latch, and a freshly spawned OS thread per worker slot —
+/// and exists so benches can measure the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPath {
+    /// Batched per-worker output, batched CPU charging, sharded pool.
+    Decontended,
+    /// The seed's contended hot path (baseline for comparison).
+    GlobalLock,
+}
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -38,29 +57,115 @@ pub struct ExecConfig {
     /// workloads scan relations far larger than memory, so the default is a
     /// modest pool that cannot cache a whole scan.
     pub bufpool_pages: usize,
+    /// Buffer-pool shards (page-hashed, independently latched). Ignored —
+    /// forced to 1 — under [`DataPath::GlobalLock`].
+    pub bufpool_shards: usize,
+    /// Result tuples a worker buffers locally before one flush into the
+    /// fragment sink.
+    pub out_batch_tuples: usize,
+    /// Simulated CPU seconds a worker accumulates before one CPU-gate
+    /// acquisition.
+    pub cpu_batch_seconds: f64,
+    /// Which data path to run.
+    pub data_path: DataPath,
 }
 
 impl ExecConfig {
-    /// Functional-testing configuration: paper machine, no throttling.
+    /// Functional-testing configuration: paper machine, no throttling,
+    /// de-contended data path.
     pub fn unthrottled() -> Self {
         ExecConfig {
             machine: MachineConfig::paper_default(),
             scale: 0.0,
             cpu_tuple: 0.25e-3,
             bufpool_pages: 512,
+            bufpool_shards: 8,
+            out_batch_tuples: 256,
+            cpu_batch_seconds: 0.01,
+            data_path: DataPath::Decontended,
         }
     }
 
     /// Demonstration configuration running `speedup`× faster than real time.
     pub fn scaled(speedup: f64) -> Self {
         assert!(speedup > 0.0);
-        ExecConfig {
-            machine: MachineConfig::paper_default(),
-            scale: 1.0 / speedup,
-            cpu_tuple: 0.25e-3,
-            bufpool_pages: 512,
+        ExecConfig { scale: 1.0 / speedup, ..ExecConfig::unthrottled() }
+    }
+
+    /// This configuration switched to the seed's global-lock data path.
+    pub fn with_data_path(mut self, path: DataPath) -> Self {
+        self.data_path = path;
+        self
+    }
+
+    fn effective_shards(&self) -> usize {
+        match self.data_path {
+            DataPath::Decontended => self.bufpool_shards.max(1),
+            DataPath::GlobalLock => 1,
         }
     }
+
+    fn effective_out_batch(&self) -> usize {
+        match self.data_path {
+            DataPath::Decontended => self.out_batch_tuples.max(1),
+            DataPath::GlobalLock => 0, // one lock round per tuple
+        }
+    }
+
+    fn effective_cpu_batch(&self) -> f64 {
+        match self.data_path {
+            DataPath::Decontended => self.cpu_batch_seconds.max(0.0),
+            DataPath::GlobalLock => 0.0, // one gate acquisition per compute
+        }
+    }
+}
+
+/// Why a run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A worker thread panicked; the run was drained and abandoned.
+    WorkerPanicked {
+        /// Global fragment index the worker was staffing.
+        fragment: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The completion channel closed with fragments still outstanding.
+    ChannelClosed {
+        /// Fragments that had completed when the channel died.
+        completed: usize,
+        /// Total fragments in the run.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::WorkerPanicked { fragment, message } => {
+                write!(f, "worker staffing fragment {fragment} panicked: {message}")
+            }
+            ExecError::ChannelClosed { completed, total } => {
+                write!(f, "worker channel closed with {completed}/{total} fragments complete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Messages workers (and their pool wrappers) send the master.
+#[derive(Debug)]
+pub(crate) enum MasterMsg {
+    /// All units of the fragment are done and every worker has flushed.
+    FragmentDone(usize),
+    /// A worker staffing the fragment panicked.
+    WorkerPanicked {
+        /// Global fragment index.
+        gid: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
 }
 
 /// One query to execute: the optimizer's output plus concrete selection
@@ -90,10 +195,16 @@ pub struct ExecReport {
     pub results: Vec<QueryResult>,
     /// Machine statistics (I/O class mix).
     pub stats: MachineStats,
+    /// Per-shard buffer-pool counters (empty when buffering is disabled).
+    pub pool_shards: Vec<xprs_storage::PoolStats>,
     /// Total wall-clock seconds.
     pub wall: f64,
     /// Per-fragment `(task, start, finish)` wall times.
     pub fragment_times: Vec<(TaskId, f64, f64)>,
+    /// OS threads the worker pool created over the whole run.
+    pub pool_threads: u64,
+    /// Worker-slot staffing jobs submitted over the whole run.
+    pub pool_jobs: u64,
 }
 
 enum FragStatus {
@@ -133,12 +244,30 @@ impl Executor {
 
     /// Execute `queries` under `policy`; blocks until all are complete.
     ///
+    /// # Errors
+    /// Returns [`ExecError`] if a worker panics or the completion channel
+    /// dies; remaining workers are drained (not abandoned) first.
+    ///
     /// # Panics
     /// Panics if a compiled program disagrees with the optimizer's fragment
     /// decomposition, or if the policy wedges.
-    pub fn run(&self, queries: &[QueryRun], policy: &mut dyn SchedulePolicy) -> ExecReport {
-        let machine = Arc::new(Machine::with_pool(&self.cfg.machine, self.cfg.scale, self.cfg.bufpool_pages));
-        let (tx, rx) = unbounded::<usize>();
+    pub fn run(
+        &self,
+        queries: &[QueryRun],
+        policy: &mut dyn SchedulePolicy,
+    ) -> Result<ExecReport, ExecError> {
+        let machine = Arc::new(Machine::with_sharded_pool(
+            &self.cfg.machine,
+            self.cfg.scale,
+            self.cfg.bufpool_pages,
+            self.cfg.effective_shards(),
+        ));
+        let pool = WorkerPool::new(match self.cfg.data_path {
+            DataPath::Decontended => self.cfg.machine.n_procs as usize,
+            DataPath::GlobalLock => 0, // seed path never touches the pool
+        });
+        let backends = Backends::new(&pool, self.cfg.data_path == DataPath::Decontended);
+        let (tx, rx) = channel::<MasterMsg>();
         let t0 = Instant::now();
 
         // Build the global fragment table.
@@ -177,7 +306,6 @@ impl Executor {
             }
         }
 
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let mut done_count = 0usize;
 
         // Announce the roots of every query.
@@ -186,10 +314,23 @@ impl Executor {
             f.status = FragStatus::Ready;
             policy.on_arrival(now(t0), f.profile.clone());
         }
-        self.decide(policy, &mut frags, &machine, &tx, &mut handles, t0);
+        self.decide(policy, &mut frags, &machine, &tx, &backends, t0);
 
         while done_count < frags.len() {
-            let gid = rx.recv().expect("worker channel closed prematurely");
+            let gid = match rx.recv() {
+                Ok(MasterMsg::FragmentDone(gid)) => gid,
+                Ok(MasterMsg::WorkerPanicked { gid, message }) => {
+                    drain(&frags, &backends);
+                    return Err(ExecError::WorkerPanicked { fragment: gid, message });
+                }
+                Err(_) => {
+                    drain(&frags, &backends);
+                    return Err(ExecError::ChannelClosed {
+                        completed: done_count,
+                        total: frags.len(),
+                    });
+                }
+            };
             let t_done = now(t0);
             // Finalize: harvest the output, free the context.
             let ctx = match std::mem::replace(&mut frags[gid].status, FragStatus::Done) {
@@ -199,7 +340,7 @@ impl Executor {
                     panic!("completion message for non-running fragment {gid}");
                 }
             };
-            let rows = std::mem::take(&mut *ctx.out.lock());
+            let rows = ctx.out.harvest();
             frags[gid].output = Some(Arc::new(Materialized::build(rows)));
             frags[gid].finished_at = t_done;
             done_count += 1;
@@ -214,12 +355,10 @@ impl Executor {
                     policy.on_arrival(t_done, frags[i].profile.clone());
                 }
             }
-            self.decide(policy, &mut frags, &machine, &tx, &mut handles, t0);
+            self.decide(policy, &mut frags, &machine, &tx, &backends, t0);
         }
 
-        for h in handles {
-            h.join().expect("worker panicked");
-        }
+        backends.shutdown();
 
         let wall = now(t0);
         let results = queries
@@ -236,15 +375,18 @@ impl Executor {
                 }
             })
             .collect();
-        ExecReport {
+        Ok(ExecReport {
             results,
             stats: machine.stats(),
+            pool_shards: machine.pool_shard_stats(),
             wall,
             fragment_times: frags
                 .iter()
                 .map(|f| (f.profile.id, f.started_at, f.finished_at))
                 .collect(),
-        }
+            pool_threads: backends.threads_spawned(),
+            pool_jobs: backends.staffed.load(Ordering::Relaxed),
+        })
     }
 
     fn decide(
@@ -252,8 +394,8 @@ impl Executor {
         policy: &mut dyn SchedulePolicy,
         frags: &mut [FragSlot],
         machine: &Arc<Machine>,
-        tx: &Sender<usize>,
-        handles: &mut Vec<std::thread::JoinHandle<()>>,
+        tx: &Sender<MasterMsg>,
+        backends: &Backends<'_>,
         t0: Instant,
     ) {
         let now = t0.elapsed().as_secs_f64();
@@ -284,10 +426,10 @@ impl Executor {
                     .unwrap_or_else(|| panic!("policy referenced unknown task {}", a.task()));
                 match a {
                     Action::Start { parallelism, .. } => {
-                        self.start_fragment(frags, gid, parallelism, machine, tx, handles, t0)
+                        self.start_fragment(frags, gid, parallelism, machine, tx, backends, t0)
                     }
                     Action::Adjust { parallelism, .. } => {
-                        self.adjust_fragment(frags, gid, parallelism, machine, handles)
+                        self.adjust_fragment(frags, gid, parallelism, machine, backends)
                     }
                 }
             }
@@ -302,8 +444,8 @@ impl Executor {
         gid: usize,
         parallelism: f64,
         machine: &Arc<Machine>,
-        tx: &Sender<usize>,
-        handles: &mut Vec<std::thread::JoinHandle<()>>,
+        tx: &Sender<MasterMsg>,
+        backends: &Backends<'_>,
         t0: Instant,
     ) {
         assert!(
@@ -363,15 +505,19 @@ impl Executor {
             program: frags[gid].program.clone(),
             rels: frags[gid].bindings.clone(),
             inputs,
-            partition: Mutex::new(partition),
-            exited_slots: Mutex::new(Vec::new()),
+            partition: std::sync::Mutex::new(partition),
+            exited_slots: std::sync::Mutex::new(Vec::new()),
             units_done: AtomicU64::new(0),
             total_units,
-            out: Mutex::new(Vec::new()),
+            outstanding: AtomicU32::new(0),
+            out: OutputSink::default(),
             target_parallelism: AtomicU32::new(x),
             done: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
             done_tx: tx.clone(),
             cpu_tuple: self.cfg.cpu_tuple,
+            out_batch_tuples: self.cfg.effective_out_batch(),
+            cpu_batch_seconds: self.cfg.effective_cpu_batch(),
         });
         frags[gid].started_at = t0.elapsed().as_secs_f64();
         frags[gid].status = FragStatus::Running(ctx.clone());
@@ -380,12 +526,12 @@ impl Executor {
             // Nothing to scan (empty relation or empty key intersection):
             // complete immediately through the normal channel.
             if !ctx.done.swap(true, Ordering::SeqCst) {
-                let _ = tx.send(gid);
+                let _ = tx.send(MasterMsg::FragmentDone(gid));
             }
             return;
         }
         for slot in 0..x as usize {
-            handles.push(spawn_worker(ctx.clone(), slot, machine, &self.catalog));
+            backends.staff(&ctx, slot, machine, &self.catalog);
         }
     }
 
@@ -395,7 +541,7 @@ impl Executor {
         gid: usize,
         parallelism: f64,
         machine: &Arc<Machine>,
-        handles: &mut Vec<std::thread::JoinHandle<()>>,
+        backends: &Backends<'_>,
     ) {
         let FragStatus::Running(ctx) = &frags[gid].status else {
             // The fragment finished in the window between the snapshot and
@@ -405,40 +551,112 @@ impl Executor {
         let x = to_workers(parallelism, self.cfg.machine.n_procs);
         ctx.target_parallelism.store(x, Ordering::Relaxed);
         let (info, active) = {
-            let mut p = ctx.partition.lock();
+            let mut p = lock(&ctx.partition);
             match &mut *p {
                 PartitionState::Page(pp) => (pp.adjust(x), pp.active_slots()),
                 PartitionState::Range(rp) => (rp.adjust(x), rp.active_slots()),
             }
         };
         for slot in info.new_slots {
-            handles.push(spawn_worker(ctx.clone(), slot, machine, &self.catalog));
+            backends.staff(ctx, slot, machine, &self.catalog);
         }
         // Re-staff previously drained slots that the new assignment handed
         // fresh work (the idle-worker hazard).
-        let mut exited = ctx.exited_slots.lock();
-        let respawn: Vec<usize> = exited
-            .iter()
-            .copied()
-            .filter(|s| active.contains(s))
-            .collect();
-        exited.retain(|s| !respawn.contains(s));
-        drop(exited);
+        let respawn: Vec<usize> = {
+            let mut exited = lock(&ctx.exited_slots);
+            let respawn: Vec<usize> =
+                exited.iter().copied().filter(|s| active.contains(s)).collect();
+            exited.retain(|s| !respawn.contains(s));
+            respawn
+        };
         for slot in respawn {
-            handles.push(spawn_worker(ctx.clone(), slot, machine, &self.catalog));
+            backends.staff(ctx, slot, machine, &self.catalog);
         }
     }
 }
 
-fn spawn_worker(
-    ctx: Arc<FragCtx>,
-    slot: usize,
-    machine: &Arc<Machine>,
-    catalog: &Arc<Catalog>,
-) -> std::thread::JoinHandle<()> {
-    let machine = machine.clone();
-    let catalog = catalog.clone();
-    std::thread::spawn(move || run_worker(ctx, slot, machine, catalog))
+/// How worker slots become running threads: the persistent pool
+/// (production), or one freshly spawned OS thread per slot (the seed's
+/// behaviour, kept measurable under [`DataPath::GlobalLock`]).
+struct Backends<'a> {
+    pool: &'a WorkerPool,
+    direct: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    use_pool: bool,
+    staffed: AtomicU64,
+    spawned_direct: AtomicU64,
+}
+
+impl<'a> Backends<'a> {
+    fn new(pool: &'a WorkerPool, use_pool: bool) -> Self {
+        Backends {
+            pool,
+            direct: Mutex::new(Vec::new()),
+            use_pool,
+            staffed: AtomicU64::new(0),
+            spawned_direct: AtomicU64::new(0),
+        }
+    }
+
+    /// Staff worker slot `slot` of `ctx`: accounts the worker in the
+    /// fragment's completion protocol **before** it can run, wraps the run
+    /// in a panic report, and always balances with [`FragCtx::worker_exit`].
+    fn staff(&self, ctx: &Arc<FragCtx>, slot: usize, machine: &Arc<Machine>, catalog: &Arc<Catalog>) {
+        self.staffed.fetch_add(1, Ordering::Relaxed);
+        ctx.outstanding.fetch_add(1, Ordering::SeqCst);
+        let ctx = ctx.clone();
+        let machine = machine.clone();
+        let catalog = catalog.clone();
+        let job = move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_worker(&ctx, slot, &machine, &catalog);
+            }));
+            if let Err(payload) = outcome {
+                let message = panic_message(payload.as_ref());
+                let _ = ctx.done_tx.send(MasterMsg::WorkerPanicked { gid: ctx.gid, message });
+            }
+            ctx.worker_exit();
+        };
+        if self.use_pool {
+            self.pool.submit(Box::new(job));
+        } else {
+            self.spawned_direct.fetch_add(1, Ordering::Relaxed);
+            lock(&self.direct).push(std::thread::spawn(job));
+        }
+    }
+
+    /// OS threads created so far, whichever staffing mode is in use.
+    fn threads_spawned(&self) -> u64 {
+        self.pool.threads_spawned() + self.spawned_direct.load(Ordering::Relaxed)
+    }
+
+    /// Run everything down and join every thread this run created.
+    fn shutdown(&self) {
+        self.pool.shutdown();
+        for h in std::mem::take(&mut *lock(&self.direct)) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Stop the run: tell every running fragment's workers to drain, then run
+/// the backends down so no thread outlives the error.
+fn drain(frags: &[FragSlot], backends: &Backends<'_>) {
+    for f in frags {
+        if let FragStatus::Running(ctx) = &f.status {
+            ctx.aborted.store(true, Ordering::Relaxed);
+        }
+    }
+    backends.shutdown();
 }
 
 fn range_partition(lo: i64, hi: i64, x: u32) -> (PartitionState, u64) {

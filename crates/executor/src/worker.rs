@@ -6,17 +6,33 @@
 //! the master has applied — including "you are retired" (`None`). This is
 //! the shared-memory, low-communication-cost design the paper credits for
 //! making dynamic parallelism adjustment cheap.
+//!
+//! # De-contended data path
+//!
+//! The seed pushed every result tuple through a fragment-global
+//! `Mutex<Vec>` and took the CPU gate once per `compute` call, so at 8
+//! workers the hot path serialized on those locks. Now each worker owns a
+//! local output buffer that is flushed into the fragment sink **per batch**
+//! (one lock round per `out_batch_tuples` tuples), and simulated CPU is
+//! accumulated locally and charged through the gate per batch as well. The
+//! fragment completes when every unit is done **and** every worker has
+//! flushed and exited — completion is announced by the last worker out, so
+//! the master never harvests a partially flushed sink. The seed's
+//! per-tuple-lock behaviour remains available as
+//! [`DataPath::GlobalLock`](crate::master::DataPath) and is what the
+//! `bench_executor` baseline measures.
 
 use std::collections::HashMap;
+use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
 
-use crossbeam::channel::Sender;
-use parking_lot::Mutex;
 use xprs_storage::partition::{PagePartition, RangePartition};
 use xprs_storage::{Catalog, Relation, Tuple};
 
-use crate::io::Machine;
+use crate::io::{lock, Machine};
+use crate::master::MasterMsg;
 use crate::program::{Driver, FragmentProgram, Materialized, PipelineOp};
 
 /// Per-query-relation execution binding: catalog name plus the concrete
@@ -43,6 +59,42 @@ pub(crate) enum PartitionState {
     Range(RangePartition),
 }
 
+/// The fragment's result sink: whole per-worker batches, one lock round per
+/// batch. The master concatenates at harvest time.
+#[derive(Default)]
+pub(crate) struct OutputSink {
+    batches: Mutex<Vec<Vec<(i32, Tuple)>>>,
+}
+
+impl OutputSink {
+    /// Append a worker's whole local batch (the batch is emptied).
+    pub(crate) fn flush(&self, local: &mut Vec<(i32, Tuple)>) {
+        if !local.is_empty() {
+            lock(&self.batches).push(mem::take(local));
+        }
+    }
+
+    /// Seed-path emulation: one lock round per tuple into a single vector.
+    pub(crate) fn push_contended(&self, key: i32, tuple: Tuple) {
+        let mut b = lock(&self.batches);
+        if b.is_empty() {
+            b.push(Vec::new());
+        }
+        b[0].push((key, tuple));
+    }
+
+    /// Take everything flushed so far as one flat row vector.
+    pub(crate) fn harvest(&self) -> Vec<(i32, Tuple)> {
+        let mut batches = mem::take(&mut *lock(&self.batches));
+        let total = batches.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for b in &mut batches {
+            out.append(b);
+        }
+        out
+    }
+}
+
 /// Shared state of one running fragment.
 pub(crate) struct FragCtx {
     /// Global fragment index (across all queries of the run).
@@ -55,22 +107,33 @@ pub(crate) struct FragCtx {
     pub inputs: HashMap<usize, Arc<Materialized>>,
     /// The Section 2.4 partition state.
     pub partition: Mutex<PartitionState>,
-    /// Slots whose worker thread has exited (may be re-staffed on adjust).
+    /// Slots whose worker has exited (may be re-staffed on adjust).
     pub exited_slots: Mutex<Vec<usize>>,
     /// Completed work units (pages or keys).
     pub units_done: AtomicU64,
     /// Total work units.
     pub total_units: u64,
+    /// Worker jobs staffed but not yet exited (incremented by the master at
+    /// submit time, decremented by each worker after its final flush).
+    pub outstanding: AtomicU32,
     /// Result rows.
-    pub out: Mutex<Vec<(i32, Tuple)>>,
+    pub out: OutputSink,
     /// Current target parallelism (for the solo-stream I/O flag).
     pub target_parallelism: AtomicU32,
     /// Completion latch (the done message fires exactly once).
     pub done: AtomicBool,
+    /// Abort flag: workers drain without scanning further work.
+    pub aborted: AtomicBool,
     /// Master notification channel.
-    pub done_tx: Sender<usize>,
+    pub done_tx: Sender<MasterMsg>,
     /// CPU seconds charged per tuple examined.
     pub cpu_tuple: f64,
+    /// Tuples buffered per worker before one sink flush (0 ⇒ seed path:
+    /// one lock round per tuple).
+    pub out_batch_tuples: usize,
+    /// Simulated CPU seconds accumulated before one gate acquisition
+    /// (0.0 ⇒ seed path: one acquisition per compute call).
+    pub cpu_batch_seconds: f64,
 }
 
 impl FragCtx {
@@ -91,12 +154,22 @@ impl FragCtx {
             .unwrap_or_else(|| panic!("relation {name} vanished from the catalog"))
     }
 
-    /// Record one finished unit; fire the completion message on the last.
+    /// Record one finished unit. Completion itself is announced by the last
+    /// exiting worker (see [`FragCtx::worker_exit`]), after all flushes.
     fn finish_unit(&self) {
         let done = self.units_done.fetch_add(1, Ordering::SeqCst) + 1;
         debug_assert!(done <= self.total_units);
-        if done == self.total_units && !self.done.swap(true, Ordering::SeqCst) {
-            let _ = self.done_tx.send(self.gid);
+    }
+
+    /// One worker job has fully exited (buffers flushed). Fires the done
+    /// message when it was the last live worker and all units are finished.
+    pub(crate) fn worker_exit(&self) {
+        let remaining = self.outstanding.fetch_sub(1, Ordering::SeqCst) - 1;
+        if remaining == 0
+            && self.units_done.load(Ordering::SeqCst) == self.total_units
+            && !self.done.swap(true, Ordering::SeqCst)
+        {
+            let _ = self.done_tx.send(MasterMsg::FragmentDone(self.gid));
         }
     }
 }
@@ -106,17 +179,80 @@ enum Unit {
     Key(i64),
 }
 
+/// A worker's private, lock-free tuple buffer plus CPU accumulator; both
+/// settle with the shared structures once per batch.
+struct WorkerState<'m> {
+    machine: &'m Machine,
+    wid: xprs_disk::WorkerId,
+    buf: Vec<(i32, Tuple)>,
+    cpu_pending: f64,
+}
+
+impl<'m> WorkerState<'m> {
+    fn new(machine: &'m Machine, wid: xprs_disk::WorkerId, ctx: &FragCtx) -> Self {
+        WorkerState {
+            machine,
+            wid,
+            buf: Vec::with_capacity(ctx.out_batch_tuples.max(1)),
+            cpu_pending: 0.0,
+        }
+    }
+
+    /// Emit one result tuple. On the batched path this touches no shared
+    /// state until the local buffer fills.
+    fn emit(&mut self, ctx: &FragCtx, key: i32, tuple: Tuple) {
+        if ctx.out_batch_tuples == 0 {
+            ctx.out.push_contended(key, tuple);
+            return;
+        }
+        self.buf.push((key, tuple));
+        if self.buf.len() >= ctx.out_batch_tuples {
+            ctx.out.flush(&mut self.buf);
+        }
+    }
+
+    /// Charge simulated CPU seconds; acquires the gate only when the local
+    /// accumulator crosses the batch threshold.
+    fn charge_cpu(&mut self, ctx: &FragCtx, seconds: f64) {
+        self.cpu_pending += seconds;
+        if self.cpu_pending >= ctx.cpu_batch_seconds {
+            self.settle_cpu();
+        }
+    }
+
+    fn settle_cpu(&mut self) {
+        if self.cpu_pending > 0.0 {
+            self.machine.compute(self.cpu_pending);
+            self.cpu_pending = 0.0;
+        }
+    }
+
+    /// Flush everything outstanding (end of the worker's run).
+    fn settle(&mut self, ctx: &FragCtx) {
+        self.settle_cpu();
+        ctx.out.flush(&mut self.buf);
+    }
+}
+
 /// Worker main loop for slot `slot` of the fragment.
+///
+/// The caller (the pool job wrapper in `master.rs`) is responsible for
+/// calling [`FragCtx::worker_exit`] afterwards — also on panic — so the
+/// completion protocol stays balanced.
 pub(crate) fn run_worker(
-    ctx: Arc<FragCtx>,
+    ctx: &Arc<FragCtx>,
     slot: usize,
-    machine: Arc<Machine>,
-    catalog: Arc<Catalog>,
+    machine: &Machine,
+    catalog: &Catalog,
 ) {
     let wid = machine.new_worker_id();
+    let mut ws = WorkerState::new(machine, wid, ctx);
     loop {
+        if ctx.aborted.load(Ordering::Relaxed) {
+            break;
+        }
         let unit = {
-            let mut p = ctx.partition.lock();
+            let mut p = lock(&ctx.partition);
             match &mut *p {
                 PartitionState::Page(pp) => pp.next_page(slot).map(Unit::Page),
                 PartitionState::Range(rp) => rp.next_key(slot).map(Unit::Key),
@@ -124,45 +260,34 @@ pub(crate) fn run_worker(
         };
         let Some(unit) = unit else { break };
         match unit {
-            Unit::Page(page) => scan_page(&ctx, &machine, &catalog, wid, page),
-            Unit::Key(key) => scan_key(&ctx, &machine, &catalog, wid, key),
+            Unit::Page(page) => scan_page(ctx, catalog, page, &mut ws),
+            Unit::Key(key) => scan_key(ctx, catalog, key, &mut ws),
         }
         ctx.finish_unit();
     }
-    ctx.exited_slots.lock().push(slot);
+    ws.settle(ctx);
+    lock(&ctx.exited_slots).push(slot);
 }
 
 /// Page-scan driver: read one heap page, filter, run the pipeline.
-fn scan_page(
-    ctx: &FragCtx,
-    machine: &Machine,
-    catalog: &Catalog,
-    wid: xprs_disk::WorkerId,
-    page: u64,
-) {
+fn scan_page(ctx: &FragCtx, catalog: &Catalog, page: u64, ws: &mut WorkerState<'_>) {
     let Driver::PageScan { rel } = ctx.program.driver else {
         unreachable!("page unit on a non-page driver");
     };
     let relation = ctx.relation(catalog, rel);
-    machine.read(relation.heap.rel(), page, wid, ctx.solo());
+    ws.machine.read(relation.heap.rel(), page, ws.wid, ctx.solo());
     let p = relation.heap.page(page);
-    machine.compute(p.n_tuples() as f64 * ctx.cpu_tuple);
+    ws.charge_cpu(ctx, p.n_tuples() as f64 * ctx.cpu_tuple);
     for (_, tuple) in p.iter() {
         let Some(key) = tuple.get(0).as_int() else { continue };
         if ctx.rels[rel].admits(key) {
-            pipeline(ctx, machine, catalog, wid, key, tuple.clone(), 0);
+            pipeline(ctx, catalog, key, tuple.clone(), 0, ws);
         }
     }
 }
 
 /// Key driver: one key of a range-partitioned index scan or key-domain walk.
-fn scan_key(
-    ctx: &FragCtx,
-    machine: &Machine,
-    catalog: &Catalog,
-    wid: xprs_disk::WorkerId,
-    key: i64,
-) {
+fn scan_key(ctx: &FragCtx, catalog: &Catalog, key: i64, ws: &mut WorkerState<'_>) {
     let key = key as i32;
     match ctx.program.driver {
         Driver::KeyScan { rel } => {
@@ -172,21 +297,21 @@ fn scan_key(
                 .as_ref()
                 .unwrap_or_else(|| panic!("index scan over unindexed {}", relation.name));
             let postings = idx.lookup(key);
-            machine.compute(postings.len().max(1) as f64 * ctx.cpu_tuple);
+            ws.charge_cpu(ctx, postings.len().max(1) as f64 * ctx.cpu_tuple);
             for &tid in postings {
                 // Unclustered posting dereference: a random heap-page read.
-                machine.read(relation.heap.rel(), tid.block, wid, false);
+                ws.machine.read(relation.heap.rel(), tid.block, ws.wid, false);
                 let tuple = relation
                     .heap
                     .fetch(tid)
                     .unwrap_or_else(|| panic!("dangling tid {tid} in {}", relation.name))
                     .clone();
-                pipeline(ctx, machine, catalog, wid, key, tuple, 0);
+                pipeline(ctx, catalog, key, tuple, 0, ws);
             }
         }
         Driver::KeyDomain => {
-            machine.compute(ctx.cpu_tuple);
-            pipeline(ctx, machine, catalog, wid, key, Tuple::from_values(vec![]), 0);
+            ws.charge_cpu(ctx, ctx.cpu_tuple);
+            pipeline(ctx, catalog, key, Tuple::from_values(vec![]), 0, ws);
         }
         Driver::PageScan { .. } => unreachable!("key unit on a page driver"),
     }
@@ -195,30 +320,29 @@ fn scan_key(
 /// Apply pipeline operators `depth..` to `(key, tuple)`.
 fn pipeline(
     ctx: &FragCtx,
-    machine: &Machine,
     catalog: &Catalog,
-    wid: xprs_disk::WorkerId,
     key: i32,
     tuple: Tuple,
     depth: usize,
+    ws: &mut WorkerState<'_>,
 ) {
     let Some(op) = ctx.program.ops.get(depth) else {
-        ctx.out.lock().push((key, tuple));
+        ws.emit(ctx, key, tuple);
         return;
     };
     match op {
         PipelineOp::ProbeHash { dep } | PipelineOp::MergeWith { dep } => {
             for row in ctx.input(*dep).matches(key) {
-                pipeline(ctx, machine, catalog, wid, key, tuple.join(row), depth + 1);
+                pipeline(ctx, catalog, key, tuple.join(row), depth + 1, ws);
             }
         }
         PipelineOp::NestInner { dep } => {
             // A genuine nested loop: every inner row is examined.
             let inner = ctx.input(*dep);
-            machine.compute(inner.rows.len() as f64 * ctx.cpu_tuple * 0.1);
+            ws.charge_cpu(ctx, inner.rows.len() as f64 * ctx.cpu_tuple * 0.1);
             for (k2, row) in &inner.rows {
                 if *k2 == key {
-                    pipeline(ctx, machine, catalog, wid, key, tuple.join(row), depth + 1);
+                    pipeline(ctx, catalog, key, tuple.join(row), depth + 1, ws);
                 }
             }
         }
@@ -232,13 +356,13 @@ fn pipeline(
                 .as_ref()
                 .unwrap_or_else(|| panic!("merge-indexed over unindexed {}", relation.name));
             for &tid in idx.lookup(key) {
-                machine.read(relation.heap.rel(), tid.block, wid, false);
+                ws.machine.read(relation.heap.rel(), tid.block, ws.wid, false);
                 let row = relation
                     .heap
                     .fetch(tid)
                     .unwrap_or_else(|| panic!("dangling tid {tid} in {}", relation.name))
                     .clone();
-                pipeline(ctx, machine, catalog, wid, key, tuple.join(&row), depth + 1);
+                pipeline(ctx, catalog, key, tuple.join(&row), depth + 1, ws);
             }
         }
     }

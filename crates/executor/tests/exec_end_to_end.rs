@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use xprs_disk::StripedLayout;
-use xprs_executor::{ExecConfig, Executor, QueryRun, RelBinding};
-use xprs_optimizer::{Costing, Query, TwoPhaseOptimizer};
+use xprs_executor::{DataPath, ExecConfig, ExecError, Executor, QueryRun, RelBinding};
+use xprs_optimizer::{Costing, Plan, Query, TwoPhaseOptimizer};
 use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
 use xprs_scheduler::intra::IntraOnly;
 use xprs_scheduler::{MachineConfig, SchedulePolicy};
@@ -94,7 +94,7 @@ fn run_one(
 ) -> xprs_executor::ExecReport {
     let optimized = optimizer().optimize_catalog(cat, q, costing);
     let exec = Executor::new(ExecConfig::unthrottled(), cat.clone());
-    exec.run(&[QueryRun { optimized, bindings }], policy)
+    exec.run(&[QueryRun { optimized, bindings }], policy).expect("run failed")
 }
 
 fn m() -> MachineConfig {
@@ -193,11 +193,45 @@ fn multi_query_run_returns_each_querys_rows() {
     let runs = vec![mk("fat", (0, 49)), mk("thin", (0, 9)), mk("mid", (100, 119))];
     let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
     let exec = Executor::new(ExecConfig::unthrottled(), cat.clone());
-    let report = exec.run(&runs, &mut policy);
+    let report = exec.run(&runs, &mut policy).expect("run failed");
     assert_eq!(report.results.len(), 3);
     assert_eq!(result_multiset(&report.results[0].rows), ref_selection(&cat, "fat", (0, 49)));
     assert_eq!(result_multiset(&report.results[1].rows), ref_selection(&cat, "thin", (0, 9)));
     assert_eq!(result_multiset(&report.results[2].rows), ref_selection(&cat, "mid", (100, 119)));
+}
+
+/// A worker panic must come back as [`ExecError::WorkerPanicked`] with the
+/// remaining workers drained — not take the process down or hang the
+/// master. Forced by optimizing an index-scan plan against an indexed
+/// catalog, then executing it on a catalog whose relation has no index.
+#[test]
+fn worker_panic_surfaces_as_exec_error() {
+    let indexed = catalog();
+    let q = Query::selection("thin", 0.05);
+    let bindings = vec![RelBinding { name: "thin".into(), pred: (0, 7) }];
+    let mut optimized = optimizer().optimize_catalog(&indexed, &q, Costing::SeqCost);
+    // Force the index-access path; a selection decomposes into one fragment
+    // either way, so only the worker's driver changes.
+    optimized.plan = Plan::IndexScan { rel: 0 };
+
+    // Same relation, same rows, no index.
+    let mut bare = Catalog::new(xprs_disk::StripedLayout::new(4));
+    bare.create("thin", Schema::paper_rel());
+    let rows: Vec<Tuple> =
+        indexed.get("thin").unwrap().heap.scan().map(|(_, t)| t.clone()).collect();
+    bare.load("thin", rows);
+
+    let exec = Executor::new(ExecConfig::unthrottled(), Arc::new(bare));
+    let mut policy = IntraOnly::new(m(), true);
+    let err = exec
+        .run(&[QueryRun { optimized, bindings }], &mut policy)
+        .expect_err("run over a missing index must fail");
+    match err {
+        ExecError::WorkerPanicked { message, .. } => {
+            assert!(message.contains("index"), "unexpected panic payload: {message}");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
 }
 
 #[test]
@@ -209,6 +243,36 @@ fn empty_selection_completes() {
     let mut policy = IntraOnly::new(m(), true);
     let report = run_one(&cat, &q, bindings, Costing::SeqCost, &mut policy);
     assert!(report.results[0].rows.rows.is_empty());
+}
+
+/// The batched/merged tuple stream must be a **permutation** of the seed
+/// (global-lock) path's stream for the same plan: identical multiset of
+/// rows, merely flushed in batches instead of pushed one tuple at a time.
+#[test]
+fn decontended_output_is_permutation_of_global_lock_output() {
+    let cat = catalog();
+    let q = Query::join().rel("mid", 0.5).rel("thin", 0.5).on(0, 1).build();
+    let bindings = vec![
+        RelBinding { name: "mid".into(), pred: (0, 79) },
+        RelBinding { name: "thin".into(), pred: (10, 99) },
+    ];
+    let optimized = optimizer().optimize_catalog(&cat, &q, Costing::ParCost);
+    let run = |path: DataPath| {
+        let exec = Executor::new(ExecConfig::unthrottled().with_data_path(path), cat.clone());
+        let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
+        let run = QueryRun { optimized: optimized.clone(), bindings: bindings.clone() };
+        exec.run(&[run], &mut policy).expect("run failed")
+    };
+    let contended = run(DataPath::GlobalLock);
+    let decontended = run(DataPath::Decontended);
+    // Materialized output is key-sorted, so full row-by-row equality holds
+    // (not just multiset equality) if and only if the unsorted streams were
+    // permutations of each other.
+    assert_eq!(
+        contended.results[0].rows.rows, decontended.results[0].rows.rows,
+        "data paths disagree on the result stream"
+    );
+    assert!(!decontended.results[0].rows.rows.is_empty(), "vacuous comparison");
 }
 
 #[test]
@@ -224,7 +288,7 @@ fn throttled_run_still_produces_correct_results() {
     let optimized = optimizer().optimize_catalog(&cat, &q, Costing::ParCost);
     let exec = Executor::new(ExecConfig::scaled(2000.0), cat.clone());
     let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
-    let report = exec.run(&[QueryRun { optimized, bindings }], &mut policy);
+    let report = exec.run(&[QueryRun { optimized, bindings }], &mut policy).expect("run failed");
     let got = result_multiset(&report.results[0].rows);
     let want = ref_join(&cat, &[("fat", (i32::MIN, i32::MAX)), ("thin", (i32::MIN, i32::MAX))]);
     assert_eq!(got, want);

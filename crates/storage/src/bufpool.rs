@@ -143,6 +143,13 @@ impl BufferPool {
         self.frames.len().min(self.map.len())
     }
 
+    /// The `(rel, block)` keys of every resident page, in no particular
+    /// order. Intended for invariant checks (e.g. shard-residency
+    /// uniqueness), not the hot path.
+    pub fn resident_keys(&self) -> Vec<(RelId, u64)> {
+        self.map.keys().copied().collect()
+    }
+
     /// Pool capacity in frames.
     pub fn capacity(&self) -> usize {
         self.capacity

@@ -23,6 +23,7 @@ pub mod heap;
 pub mod page;
 pub mod partition;
 pub mod schema;
+pub mod shardpool;
 pub mod tuple;
 
 pub use btree::BTreeIndex;
@@ -33,4 +34,5 @@ pub use heap::HeapFile;
 pub use page::{Page, PAGE_HEADER, PAGE_SIZE};
 pub use partition::{PagePartition, RangePartition};
 pub use schema::{ColumnType, Schema};
+pub use shardpool::ShardedBufferPool;
 pub use tuple::{Tuple, TupleId};

@@ -1,0 +1,194 @@
+//! A page-hashed sharded buffer pool.
+//!
+//! The seed executor kept one [`BufferPool`] behind one global mutex, so at
+//! 8 workers the pool latch — not the disks — set the scan rate. Here the
+//! frames are split into `n_shards` independent shards, each with its own
+//! latch, its own LRU clock, and its own hit/miss/eviction counters. A page
+//! hashes to exactly one shard, so residency stays unique and per-shard LRU
+//! is exact within its slice of the frames; only the *eviction choice* is
+//! local rather than global, which for the paper's scan-dominated workloads
+//! (no reuse beyond a pass) is indistinguishable from global LRU.
+//!
+//! `n_shards == 1` degenerates to the seed's single-latch pool — the
+//! executor exposes that as the measurable baseline configuration.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use xprs_disk::RelId;
+
+use crate::bufpool::{BufferPool, FetchOutcome, PoolExhausted, PoolStats};
+
+/// Fixed-capacity buffer pool split into independently latched shards.
+#[derive(Debug)]
+pub struct ShardedBufferPool {
+    shards: Vec<Mutex<BufferPool>>,
+}
+
+/// Recover the guard even if a panicking thread poisoned a shard latch: the
+/// pool holds bookkeeping only (no torn page images), so the state is usable
+/// and the panic is propagating elsewhere regardless.
+fn latch<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ShardedBufferPool {
+    /// A pool of `total_pages` frames spread over `n_shards` shards (each
+    /// shard gets `ceil(total/n)` frames, so capacity is never rounded to 0).
+    ///
+    /// # Panics
+    /// Panics if `total_pages` or `n_shards` is zero, or if there are fewer
+    /// frames than shards.
+    pub fn new(total_pages: usize, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        assert!(
+            total_pages >= n_shards,
+            "pool of {total_pages} frames cannot fill {n_shards} shards"
+        );
+        let per_shard = total_pages.div_ceil(n_shards);
+        ShardedBufferPool {
+            shards: (0..n_shards).map(|_| Mutex::new(BufferPool::new(per_shard))).collect(),
+        }
+    }
+
+    /// Which shard `(rel, block)` lives on. Deterministic, uniform mix of
+    /// both key components so striped scans spread across shards.
+    pub fn shard_of(&self, rel: RelId, block: u64) -> usize {
+        let h = rel
+            .0
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(block.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let h = (h ^ (h >> 32)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// One-latch page access: on a **hit** the pin is taken and released in
+    /// the same critical section (callers copy what they need out of the
+    /// resident image) and `Hit` is returned; on a **miss** the frame stays
+    /// pinned for the caller's disk read — release it with
+    /// [`ShardedBufferPool::finish_read`].
+    pub fn access(&self, rel: RelId, block: u64) -> Result<FetchOutcome, PoolExhausted> {
+        let mut shard = latch(&self.shards[self.shard_of(rel, block)]);
+        let outcome = shard.fetch(rel, block)?;
+        if outcome == FetchOutcome::Hit {
+            shard.unpin(rel, block);
+        }
+        Ok(outcome)
+    }
+
+    /// Release the pin held since a `Miss` from [`ShardedBufferPool::access`].
+    /// A no-op if the page is gone (the miss bypassed an exhausted shard).
+    pub fn finish_read(&self, rel: RelId, block: u64) {
+        let mut shard = latch(&self.shards[self.shard_of(rel, block)]);
+        if shard.contains(rel, block) {
+            shard.unpin(rel, block);
+        }
+    }
+
+    /// Is the page resident (in its one home shard)?
+    pub fn contains(&self, rel: RelId, block: u64) -> bool {
+        latch(&self.shards[self.shard_of(rel, block)]).contains(rel, block)
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Frames per shard.
+    pub fn shard_capacity(&self) -> usize {
+        latch(&self.shards[0]).capacity()
+    }
+
+    /// Total frames across shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity() * self.shards.len()
+    }
+
+    /// Counters summed over all shards.
+    pub fn stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for s in &self.shards {
+            let st = latch(s).stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.evictions += st.evictions;
+        }
+        total
+    }
+
+    /// Per-shard counters, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<PoolStats> {
+        self.shards.iter().map(|s| latch(s).stats()).collect()
+    }
+
+    /// Resident page count per shard, indexed by shard.
+    pub fn shard_resident(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| latch(s).resident()).collect()
+    }
+
+    /// Resident page keys per shard, indexed by shard. For invariant checks
+    /// (residency uniqueness across shards), not the hot path.
+    pub fn shard_resident_keys(&self) -> Vec<Vec<(RelId, u64)>> {
+        self.shards.iter().map(|s| latch(s).resident_keys()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RelId = RelId(1);
+
+    #[test]
+    fn one_shard_behaves_like_the_global_pool() {
+        let p = ShardedBufferPool::new(4, 1);
+        assert_eq!(p.access(R, 0), Ok(FetchOutcome::Miss));
+        p.finish_read(R, 0);
+        assert_eq!(p.access(R, 0), Ok(FetchOutcome::Hit));
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn pages_route_to_exactly_one_shard() {
+        let p = ShardedBufferPool::new(64, 8);
+        for b in 0..48u64 {
+            p.access(R, b).unwrap();
+            p.finish_read(R, b);
+            let home = p.shard_of(R, b);
+            assert!(home < 8);
+            // Residency reported only via the home shard.
+            assert!(p.contains(R, b) || p.stats().evictions > 0);
+        }
+    }
+
+    #[test]
+    fn stats_sum_over_shards() {
+        let p = ShardedBufferPool::new(32, 4);
+        for b in 0..16u64 {
+            p.access(R, b).unwrap();
+            p.finish_read(R, b);
+        }
+        for b in 0..16u64 {
+            assert_eq!(p.access(R, b), Ok(FetchOutcome::Hit), "block {b} should be warm");
+        }
+        let total = p.stats();
+        assert_eq!((total.hits, total.misses), (16, 16));
+        let by_shard = p.shard_stats();
+        assert_eq!(by_shard.iter().map(|s| s.hits).sum::<u64>(), 16);
+        assert_eq!(by_shard.iter().map(|s| s.misses).sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn capacity_is_per_shard_rounded_up() {
+        let p = ShardedBufferPool::new(10, 4);
+        assert_eq!(p.shard_capacity(), 3);
+        assert_eq!(p.capacity(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn too_many_shards_rejected() {
+        ShardedBufferPool::new(4, 8);
+    }
+}

@@ -1,9 +1,7 @@
-//! Workload configurations (serializable, for reproducible experiments).
-
-use serde::{Deserialize, Serialize};
+//! Workload configurations (plain data, for reproducible experiments).
 
 /// The four Section 3 workload classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// All tasks CPU-bound: rates uniform in `[5, 30)`.
     AllCpu,
@@ -59,7 +57,7 @@ impl WorkloadKind {
 /// duration* uniformly in the 2–20 s range the figure implies and converts
 /// it to a tuple count at the task's rate; the literal tuple-count model
 /// remains available as [`WorkloadConfig::paper_tuple_lengths`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LengthModel {
     /// Uniform tuple count (the paper's literal text).
     Tuples {
@@ -78,7 +76,7 @@ pub enum LengthModel {
 }
 
 /// A reproducible workload specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// Class of I/O rates.
     pub kind: WorkloadKind,
@@ -139,8 +137,7 @@ mod tests {
         assert_eq!(cfg.length, LengthModel::SeqTime { min: 2.0, max: 20.0 });
         let literal = WorkloadConfig::paper_tuple_lengths(WorkloadKind::Extreme, 42);
         assert_eq!(literal.length, LengthModel::Tuples { min: 100, max: 10_000 });
-        // The Serialize/Deserialize impls are exercised at compile time; a
-        // value must also be cloneable and comparable for experiment logs.
+        // A config must be cloneable and comparable for experiment logs.
         assert_eq!(cfg, cfg.clone());
     }
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local CI: build, tests, lints, and the executor data-path benchmark.
+#
+# The workspace builds offline (rand/proptest/criterion are std-only shims
+# under shims/), so this needs no network. Run from the repo root:
+#
+#   ./scripts/ci.sh
+#
+# The bench step writes BENCH_executor.json at the repo root; the recorded
+# numbers live in docs/results/executor_datapath.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> bench_executor (writes BENCH_executor.json)"
+./target/release/bench_executor BENCH_executor.json
+
+echo "==> CI OK"

@@ -1,0 +1,144 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! CI has no route to crates.io, so `cargo bench` runs against this std-only
+//! stand-in: it warms each benchmark up, runs timed batches until a minimum
+//! measurement window is reached, and prints mean ns/iteration. There is no
+//! statistical analysis, HTML report, or comparison baseline — the numbers
+//! are honest wall-clock means, good enough to rank hot paths and catch
+//! order-of-magnitude regressions.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch sizing hints (accepted, ignored: setup always runs per batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Setup re-run for every iteration.
+    PerIteration,
+}
+
+/// The measurement driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter*` call.
+    ns_per_iter: f64,
+}
+
+const MIN_WINDOW: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 1_000_000;
+
+impl Bencher {
+    /// Time `routine` until the measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration cost probe.
+        let t0 = Instant::now();
+        black_box(routine());
+        let probe = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = (MIN_WINDOW.as_nanos() / probe.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let t0 = Instant::now();
+        for _ in 0..budget {
+            black_box(routine());
+        }
+        self.ns_per_iter = t0.elapsed().as_nanos() as f64 / budget as f64;
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let probe = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = (MIN_WINDOW.as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / budget as f64;
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim sizes its own sampling
+    /// window, so the requested sample count is ignored.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Run one named benchmark and print its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        let ns = b.ns_per_iter;
+        if ns >= 1e6 {
+            println!("bench {name:<55} {:>12.3} ms/iter", ns / 1e6);
+        } else if ns >= 1e3 {
+            println!("bench {name:<55} {:>12.3} µs/iter", ns / 1e3);
+        } else {
+            println!("bench {name:<55} {ns:>12.1} ns/iter");
+        }
+        self
+    }
+}
+
+/// Group benchmark functions under one runner fn, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 64], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+    }
+}

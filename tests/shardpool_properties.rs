@@ -1,0 +1,113 @@
+//! Property tests for the sharded buffer pool: under arbitrary access
+//! sequences, residency is unique across shards, the summed counters
+//! reconcile with the per-shard counters and with the access sequence
+//! itself, and no shard ever holds or evicts beyond its own capacity.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use xprs_disk::RelId;
+use xprs_storage::bufpool::FetchOutcome;
+use xprs_storage::ShardedBufferPool;
+
+/// An access sequence over a handful of relations and a modest block space,
+/// small enough to force plenty of eviction against the pool sizes below.
+fn accesses() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((1u64..5, 0u64..160), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sharded_pool_invariants_hold_under_arbitrary_access(
+        total_pages in 8usize..96,
+        n_shards in 1usize..9,
+        seq in accesses(),
+    ) {
+        let n_shards = n_shards.min(total_pages);
+        let pool = ShardedBufferPool::new(total_pages, n_shards);
+
+        let mut accessed: HashSet<(u64, u64)> = HashSet::new();
+        for &(rel, block) in &seq {
+            // Unpin immediately (as the executor's read path does), so the
+            // pool can never exhaust: every frame is evictable by the next
+            // miss.
+            match pool.access(RelId(rel), block).expect("no pins outstanding") {
+                FetchOutcome::Miss => pool.finish_read(RelId(rel), block),
+                FetchOutcome::Hit => {}
+            }
+            accessed.insert((rel, block));
+        }
+
+        // 1. No page is resident in two shards, and every resident page
+        //    lives on the shard the hash says is its home.
+        let by_shard = pool.shard_resident_keys();
+        let mut seen: HashSet<(RelId, u64)> = HashSet::new();
+        for (shard, keys) in by_shard.iter().enumerate() {
+            for &(rel, block) in keys {
+                prop_assert!(
+                    seen.insert((rel, block)),
+                    "page ({rel:?}, {block}) resident in two shards"
+                );
+                prop_assert_eq!(pool.shard_of(rel, block), shard, "page off its home shard");
+                prop_assert!(accessed.contains(&(rel.0, block)), "page never accessed");
+            }
+        }
+
+        // 2. Hit/miss/eviction accounting: the pool-wide totals are exactly
+        //    the per-shard sums, and every access was either a hit or miss.
+        let total = pool.stats();
+        let shards = pool.shard_stats();
+        prop_assert_eq!(total.hits, shards.iter().map(|s| s.hits).sum::<u64>());
+        prop_assert_eq!(total.misses, shards.iter().map(|s| s.misses).sum::<u64>());
+        prop_assert_eq!(total.evictions, shards.iter().map(|s| s.evictions).sum::<u64>());
+        prop_assert_eq!(total.hits + total.misses, seq.len() as u64);
+
+        // 3. Per-shard conservation and capacity: each miss installs a page
+        //    and each eviction removes one, so residency is misses minus
+        //    evictions and never exceeds the shard's own frame count — i.e.
+        //    eviction pressure in one shard cannot spill into another.
+        for (shard, (st, keys)) in shards.iter().zip(by_shard.iter()).enumerate() {
+            prop_assert_eq!(
+                st.misses - st.evictions,
+                keys.len() as u64,
+                "shard {} population does not reconcile with its counters",
+                shard
+            );
+            prop_assert!(
+                keys.len() <= pool.shard_capacity(),
+                "shard {} holds {} pages over its {}-frame capacity",
+                shard,
+                keys.len(),
+                pool.shard_capacity()
+            );
+            prop_assert!(st.evictions <= st.misses, "shard {} evicted more than it admitted", shard);
+        }
+    }
+
+    /// A warm working set that fits one shard never evicts from any shard:
+    /// per-shard LRU is exact within its slice of the frames.
+    #[test]
+    fn warm_fit_working_set_never_evicts(
+        n_shards in 1usize..9,
+        passes in 2usize..6,
+    ) {
+        // Working set of `shard_capacity` pages all hashed to one home
+        // shard would be the worst case; use few enough total pages that
+        // even a maximally skewed hash cannot overflow a shard.
+        let pool = ShardedBufferPool::new(64, n_shards);
+        let blocks: Vec<u64> = (0..pool.shard_capacity() as u64).collect();
+        for _ in 0..passes {
+            for &b in &blocks {
+                if pool.access(RelId(1), b).unwrap() == FetchOutcome::Miss {
+                    pool.finish_read(RelId(1), b);
+                }
+            }
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.evictions, 0);
+        prop_assert_eq!(s.misses, blocks.len() as u64);
+        prop_assert_eq!(s.hits, ((passes - 1) * blocks.len()) as u64);
+    }
+}
