@@ -37,7 +37,7 @@ fn bench_des_fig7_cell(c: &mut Criterion) {
     let sys = XprsSystem::paper_default();
     let tasks = xprs_bench::paper_workload(WorkloadKind::Extreme, 42);
     c.bench_function("des/extreme_with_adj_10_tasks", |b| {
-        b.iter(|| sys.simulate(black_box(&tasks), PolicyKind::InterWithAdj).elapsed)
+        b.iter(|| sys.simulate(black_box(&tasks), PolicyKind::InterWithAdj).expect("sim").elapsed)
     });
 }
 

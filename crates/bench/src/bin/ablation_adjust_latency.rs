@@ -31,7 +31,7 @@ fn measure(policy_of: &dyn Fn() -> Box<dyn SchedulePolicy>, latency: f64, seeds:
         .iter()
         .map(|&s| {
             let mut p = policy_of();
-            Simulator::new(cfg.clone()).run(p.as_mut(), &tasks_for(s)).elapsed
+            Simulator::new(cfg.clone()).run(p.as_mut(), &tasks_for(s)).expect("sim").elapsed
         })
         .collect();
     mean(&xs)

@@ -43,7 +43,7 @@ fn main() {
             .map(|&s| {
                 let tasks = with_footprints(paper_workload(WorkloadKind::Extreme, s));
                 let mut p = IntraOnly::new(base.clone(), true);
-                sim.run(&mut p, &tasks).elapsed
+                sim.run(&mut p, &tasks).expect("fluid").elapsed
             })
             .collect();
         mean(&xs)
@@ -60,7 +60,7 @@ fn main() {
             .map(|&s| {
                 let tasks = with_footprints(paper_workload(WorkloadKind::Extreme, s));
                 let mut p = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m.clone()));
-                sim.run(&mut p, &tasks).elapsed
+                sim.run(&mut p, &tasks).expect("fluid").elapsed
             })
             .collect();
         let t = mean(&xs);

@@ -38,7 +38,7 @@ fn main() {
         for &s in &seeds {
             let tasks = paper_workload(WorkloadKind::RandomMix, s);
             let mut p = policy(&m, pairing);
-            let r = sim.run(&mut p, &tasks);
+            let r = sim.run(&mut p, &tasks).expect("sim");
             elapsed.push(r.elapsed);
             let releases: Vec<(TaskId, f64)> = tasks.iter().map(|t| (t.id, 0.0)).collect();
             resp.push(r.mean_response_time(&releases));
@@ -72,7 +72,7 @@ fn main() {
             let arrivals: Vec<(TaskProfile, f64)> =
                 tasks.iter().enumerate().map(|(i, t)| (t.clone(), 1.5 * i as f64)).collect();
             let mut p = policy(&m, pairing);
-            let r = sim.run_with_arrivals(&mut p, &arrivals);
+            let r = sim.run_with_arrivals(&mut p, &arrivals).expect("fluid");
             elapsed.push(r.elapsed);
             let releases: Vec<(TaskId, f64)> =
                 arrivals.iter().map(|(t, at)| (t.id, *at)).collect();

@@ -33,7 +33,7 @@ fn run_des(kind: WorkloadKind, naive: bool, seeds: &[u64]) -> Vec<f64> {
                 .map(|(i, p)| (SimTask::from_profile(p, RelId(i as u64 + 1), &params), 0.0))
                 .collect();
             let mut p = policy(naive, true);
-            Simulator::new(SimConfig::paper_default()).run(&mut p, &tasks).elapsed
+            Simulator::new(SimConfig::paper_default()).run(&mut p, &tasks).expect("sim").elapsed
         })
         .collect()
 }
@@ -47,7 +47,7 @@ fn run_fluid(kind: WorkloadKind, naive: bool, seeds: &[u64]) -> Vec<f64> {
                 .generate(&WorkloadConfig::paper(kind, seed))
                 .profiles();
             let mut p = policy(naive, false);
-            sim.run(&mut p, &tasks).elapsed
+            sim.run(&mut p, &tasks).expect("sim").elapsed
         })
         .collect()
 }

@@ -125,7 +125,7 @@ fn main() {
             .iter()
             .map(|&s| {
                 let mut p = IntraOnly::new(m.clone(), true);
-                sim.run(&mut p, &tasks_for(kind, s)).elapsed
+                sim.run(&mut p, &tasks_for(kind, s)).expect("sim").elapsed
             })
             .collect();
         row(&["INTRA-ONLY (k=1)".into(), format!("{:6.2}", mean(&intra))]);
@@ -133,7 +133,7 @@ fn main() {
             .iter()
             .map(|&s| {
                 let mut p = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m.clone()));
-                sim.run(&mut p, &tasks_for(kind, s)).elapsed
+                sim.run(&mut p, &tasks_for(kind, s)).expect("sim").elapsed
             })
             .collect();
         row(&["INTER-W/-ADJ (balance-point pair)".into(), format!("{:6.2}", mean(&pair))]);
@@ -142,7 +142,7 @@ fn main() {
                 .iter()
                 .map(|&s| {
                     let mut p = KGreedy::new(m.clone(), k);
-                    sim.run(&mut p, &tasks_for(kind, s)).elapsed
+                    sim.run(&mut p, &tasks_for(kind, s)).expect("sim").elapsed
                 })
                 .collect();
             row(&[format!("K-GREEDY even split, k={k}"), format!("{:6.2}", mean(&xs))]);

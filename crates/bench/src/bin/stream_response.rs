@@ -90,8 +90,9 @@ fn main() {
                     .map(|&s| {
                         let (arrivals, releases) = stream(s, inter_arrival);
                         let mut p = make();
-                        let report =
-                            Simulator::new(SimConfig::paper_default()).run(p.as_mut(), &arrivals);
+                        let report = Simulator::new(SimConfig::paper_default())
+                            .run(p.as_mut(), &arrivals)
+                            .expect("sim");
                         if want_elapsed {
                             report.elapsed
                         } else {

@@ -134,7 +134,7 @@ fn class_table() {
                 gen_rates.push(t.profile.io_rate);
                 // Sequential (parallelism-1) run of just this task.
                 let report =
-                    solo_sys.simulate(std::slice::from_ref(&t.profile), PolicyKind::IntraOnly);
+                    solo_sys.simulate(std::slice::from_ref(&t.profile), PolicyKind::IntraOnly).expect("sim");
                 measured.push(t.profile.total_ios() / report.elapsed);
             }
         }

@@ -207,7 +207,7 @@ pub fn des_elapsed(
 ) -> Vec<f64> {
     seeds
         .iter()
-        .map(|&s| sys.simulate(&paper_workload(kind, s), policy).elapsed)
+        .map(|&s| sys.simulate(&paper_workload(kind, s), policy).expect("DES run").elapsed)
         .collect()
 }
 
@@ -220,7 +220,7 @@ pub fn fluid_elapsed(
 ) -> Vec<f64> {
     seeds
         .iter()
-        .map(|&s| sys.estimate(&paper_workload(kind, s), policy).elapsed)
+        .map(|&s| sys.estimate(&paper_workload(kind, s), policy).expect("fluid run").elapsed)
         .collect()
 }
 

@@ -15,8 +15,11 @@
 //! let workload = WorkloadGenerator::new()
 //!     .generate(&WorkloadConfig::paper(WorkloadKind::Extreme, 42));
 //! let sys = XprsSystem::paper_default();
-//! let intra = sys.simulate(&workload.profiles(), PolicyKind::IntraOnly).elapsed;
-//! let with_adj = sys.simulate(&workload.profiles(), PolicyKind::InterWithAdj).elapsed;
+//! // A misbehaving policy is a typed error, not a panic; the paper's
+//! // policies run these workloads to completion.
+//! let intra = sys.simulate(&workload.profiles(), PolicyKind::IntraOnly).expect("sim").elapsed;
+//! let with_adj =
+//!     sys.simulate(&workload.profiles(), PolicyKind::InterWithAdj).expect("sim").elapsed;
 //! assert!(with_adj <= intra * 1.01);
 //! ```
 

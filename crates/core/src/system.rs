@@ -2,13 +2,13 @@
 
 use std::sync::Arc;
 
-use xprs_executor::{ExecConfig, ExecReport, Executor, QueryRun, RelBinding};
+use xprs_executor::{ExecConfig, ExecError, ExecReport, Executor, QueryRun, RelBinding};
 use xprs_optimizer::{Costing, OptimizedQuery, Query, TwoPhaseOptimizer};
 use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
 use xprs_scheduler::fluid::{FluidResult, FluidSim};
 use xprs_scheduler::intra::IntraOnly;
-use xprs_scheduler::{MachineConfig, SchedulePolicy, TaskProfile};
-use xprs_sim::{SimConfig, SimReport, SimTask, Simulator};
+use xprs_scheduler::{MachineConfig, SchedError, SchedulePolicy, TaskProfile};
+use xprs_sim::{SimConfig, SimError, SimReport, SimTask, Simulator};
 use xprs_storage::Catalog;
 use xprs_workload::GeneratedWorkload;
 
@@ -163,14 +163,30 @@ impl XprsSystem {
     }
 
     /// Estimate a task set's elapsed time with the fluid model.
-    pub fn estimate(&self, tasks: &[TaskProfile], policy: PolicyKind) -> FluidResult {
+    ///
+    /// # Errors
+    /// Propagates the typed [`SchedError`] when the policy misbehaves
+    /// (diverges, wedges, or issues an invalid action).
+    pub fn estimate(
+        &self,
+        tasks: &[TaskProfile],
+        policy: PolicyKind,
+    ) -> Result<FluidResult, SchedError> {
         let mut p = policy.build(&self.machine, false);
         FluidSim::new(self.machine.clone()).run(p.as_mut(), tasks)
     }
 
     /// Measure a task set on the discrete-event simulator. Each profile
     /// becomes a physical scan of its own relation.
-    pub fn simulate(&self, tasks: &[TaskProfile], policy: PolicyKind) -> SimReport {
+    ///
+    /// # Errors
+    /// Propagates [`SimError`] — the typed scheduler failure plus the
+    /// partial statistics up to the failure instant.
+    pub fn simulate(
+        &self,
+        tasks: &[TaskProfile],
+        policy: PolicyKind,
+    ) -> Result<SimReport, SimError> {
         let params = xprs_disk::DiskParams::from_rates(
             self.machine.seq_bw,
             self.machine.almost_seq_bw,
@@ -189,12 +205,16 @@ impl XprsSystem {
     }
 
     /// Execute optimized queries on the threaded engine.
+    ///
+    /// # Errors
+    /// Propagates [`ExecError`] — worker panics, channel failures and typed
+    /// scheduler misbehaviour — with all workers drained first.
     pub fn execute(
         &self,
         runs: &[(OptimizedQuery, Vec<RelBinding>)],
         policy: PolicyKind,
         speedup: Option<f64>,
-    ) -> ExecReport {
+    ) -> Result<ExecReport, ExecError> {
         let cfg = match speedup {
             None => ExecConfig::unthrottled(),
             Some(s) => ExecConfig::scaled(s),
@@ -207,7 +227,6 @@ impl XprsSystem {
             .collect();
         let mut p = policy.build(&self.machine, true);
         exec.run(&runs, p.as_mut())
-            .unwrap_or_else(|e| panic!("query execution failed: {e}"))
     }
 }
 
@@ -240,11 +259,11 @@ mod tests {
     #[test]
     fn estimate_and_simulate_agree_qualitatively() {
         let sys = XprsSystem::paper_default();
-        let est_intra = sys.estimate(&profiles(), PolicyKind::IntraOnly).elapsed;
-        let est_adj = sys.estimate(&profiles(), PolicyKind::InterWithAdj).elapsed;
+        let est_intra = sys.estimate(&profiles(), PolicyKind::IntraOnly).expect("fluid").elapsed;
+        let est_adj = sys.estimate(&profiles(), PolicyKind::InterWithAdj).expect("fluid").elapsed;
         assert!(est_adj < est_intra);
-        let sim_intra = sys.simulate(&profiles(), PolicyKind::IntraOnly).elapsed;
-        let sim_adj = sys.simulate(&profiles(), PolicyKind::InterWithAdj).elapsed;
+        let sim_intra = sys.simulate(&profiles(), PolicyKind::IntraOnly).expect("sim").elapsed;
+        let sim_adj = sys.simulate(&profiles(), PolicyKind::InterWithAdj).expect("sim").elapsed;
         assert!(sim_adj < sim_intra);
     }
 
@@ -268,7 +287,7 @@ mod tests {
                 (o, b)
             })
             .collect();
-        let report = sys.execute(&runs, PolicyKind::InterWithAdj, None);
+        let report = sys.execute(&runs, PolicyKind::InterWithAdj, None).expect("exec");
         assert_eq!(report.results.len(), 4);
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.rows.rows.len() as u64, w.tasks[i].n_tuples);

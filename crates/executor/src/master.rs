@@ -17,7 +17,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use xprs_optimizer::OptimizedQuery;
+use xprs_scheduler::error::SchedError;
+use xprs_scheduler::fluid::FIXPOINT_ROUNDS;
 use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
+use xprs_scheduler::trace::{emit, RunningSnap, SharedSink, TraceRecord};
 use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
 use xprs_storage::partition::{PagePartition, RangePartition};
 use xprs_storage::Catalog;
@@ -121,7 +124,7 @@ impl ExecConfig {
 }
 
 /// Why a run could not complete.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// A worker thread panicked; the run was drained and abandoned.
     WorkerPanicked {
@@ -137,6 +140,24 @@ pub enum ExecError {
         /// Total fragments in the run.
         total: usize,
     },
+    /// The scheduling policy misbehaved (diverged, wedged, referenced an
+    /// unknown task, double-started or double-completed a fragment). The
+    /// run was drained and abandoned.
+    Sched {
+        /// The typed scheduler error.
+        source: SchedError,
+        /// Fragments that had completed at the failure instant.
+        completed: usize,
+        /// Total fragments in the run.
+        total: usize,
+    },
+    /// A fragment program referenced a relation the catalog does not hold.
+    UnknownRelation {
+        /// Global fragment index.
+        fragment: usize,
+        /// The missing relation's name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -148,11 +169,48 @@ impl std::fmt::Display for ExecError {
             ExecError::ChannelClosed { completed, total } => {
                 write!(f, "worker channel closed with {completed}/{total} fragments complete")
             }
+            ExecError::Sched { source, completed, total } => {
+                write!(f, "scheduling failed with {completed}/{total} fragments complete: {source}")
+            }
+            ExecError::UnknownRelation { fragment, name } => {
+                write!(f, "fragment {fragment} references unknown relation {name:?}")
+            }
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Sched { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Internal: a control-path failure from the decide path, before it is
+/// annotated with the run's completion progress.
+enum ControlFail {
+    Sched(SchedError),
+    Relation { fragment: usize, name: String },
+}
+
+impl From<SchedError> for ControlFail {
+    fn from(e: SchedError) -> Self {
+        ControlFail::Sched(e)
+    }
+}
+
+impl ControlFail {
+    fn into_exec(self, completed: usize, total: usize) -> ExecError {
+        match self {
+            ControlFail::Sched(source) => ExecError::Sched { source, completed, total },
+            ControlFail::Relation { fragment, name } => {
+                ExecError::UnknownRelation { fragment, name }
+            }
+        }
+    }
+}
 
 /// Messages workers (and their pool wrappers) send the master.
 #[derive(Debug)]
@@ -234,23 +292,34 @@ struct FragSlot {
 pub struct Executor {
     cfg: ExecConfig,
     catalog: Arc<Catalog>,
+    sink: Option<SharedSink>,
 }
 
 impl Executor {
     /// An executor over `catalog` with configuration `cfg`.
     pub fn new(cfg: ExecConfig, catalog: Arc<Catalog>) -> Self {
-        Executor { cfg, catalog }
+        Executor { cfg, catalog, sink: None }
+    }
+
+    /// Record every arrival, decision and applied action into `sink`.
+    pub fn with_trace(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Execute `queries` under `policy`; blocks until all are complete.
     ///
     /// # Errors
-    /// Returns [`ExecError`] if a worker panics or the completion channel
-    /// dies; remaining workers are drained (not abandoned) first.
+    /// Returns [`ExecError`] if a worker panics, the completion channel
+    /// dies, a fragment references an unknown relation, or the policy
+    /// misbehaves (wedges, diverges, double-starts or double-completes a
+    /// fragment, references an unknown task). Remaining workers are drained
+    /// (not abandoned) first, and the report fields that survive — the
+    /// completion counts — ride along on the error.
     ///
     /// # Panics
     /// Panics if a compiled program disagrees with the optimizer's fragment
-    /// decomposition, or if the policy wedges.
+    /// decomposition (a compiler bug, not a policy failure).
     pub fn run(
         &self,
         queries: &[QueryRun],
@@ -307,14 +376,38 @@ impl Executor {
         }
 
         let mut done_count = 0usize;
+        let total = frags.len();
+
+        emit(&self.sink, || TraceRecord::RunStart {
+            driver: "executor".to_string(),
+            policy: policy.name().to_string(),
+            machine: self.cfg.machine.clone(),
+        });
+
+        // A control-path failure: record it, drain every worker, and hand
+        // back the typed error with the completion progress attached.
+        let fail = |e: ControlFail, done: usize, now: f64, frags: &[FragSlot], b: &Backends<'_>| {
+            let exec = e.into_exec(done, total);
+            emit(&self.sink, || TraceRecord::Error { now, message: exec.to_string() });
+            drain(frags, b);
+            exec
+        };
 
         // Announce the roots of every query.
         let now = |t0: Instant| t0.elapsed().as_secs_f64();
         for f in frags.iter_mut().filter(|f| f.deps.is_empty()) {
             f.status = FragStatus::Ready;
-            policy.on_arrival(now(t0), f.profile.clone());
+            let t = now(t0);
+            let profile = f.profile.clone();
+            emit(&self.sink, || TraceRecord::Arrival { now: t, profile: profile.clone() });
+            policy.on_arrival(t, f.profile.clone());
         }
-        self.decide(policy, &mut frags, &machine, &tx, &backends, t0);
+        if let Err(e) = self.decide(policy, &mut frags, &machine, &tx, &backends, t0) {
+            return Err(fail(e, done_count, now(t0), &frags, &backends));
+        }
+        if let Err(e) = wedge_check(policy, &frags, done_count) {
+            return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
+        }
 
         while done_count < frags.len() {
             let gid = match rx.recv() {
@@ -333,18 +426,19 @@ impl Executor {
             };
             let t_done = now(t0);
             // Finalize: harvest the output, free the context.
-            let ctx = match std::mem::replace(&mut frags[gid].status, FragStatus::Done) {
-                FragStatus::Running(ctx) => ctx,
-                other => {
-                    frags[gid].status = other;
-                    panic!("completion message for non-running fragment {gid}");
+            let finished = frags[gid].profile.id;
+            let ctx = match take_running(&mut frags[gid].status, finished) {
+                Ok(ctx) => ctx,
+                Err(e) => {
+                    return Err(fail(e.into(), done_count, t_done, &frags, &backends));
                 }
             };
             let rows = ctx.out.harvest();
             frags[gid].output = Some(Arc::new(Materialized::build(rows)));
             frags[gid].finished_at = t_done;
             done_count += 1;
-            policy.on_finish(t_done, frags[gid].profile.id);
+            emit(&self.sink, || TraceRecord::Finish { now: t_done, task: finished });
+            policy.on_finish(t_done, finished);
 
             // Promote consumers whose producers are now all done.
             for i in 0..frags.len() {
@@ -352,10 +446,20 @@ impl Executor {
                     && frags[i].deps.iter().all(|&d| matches!(frags[d].status, FragStatus::Done))
                 {
                     frags[i].status = FragStatus::Ready;
+                    let profile = frags[i].profile.clone();
+                    emit(&self.sink, || TraceRecord::Arrival {
+                        now: t_done,
+                        profile: profile.clone(),
+                    });
                     policy.on_arrival(t_done, frags[i].profile.clone());
                 }
             }
-            self.decide(policy, &mut frags, &machine, &tx, &backends, t0);
+            if let Err(e) = self.decide(policy, &mut frags, &machine, &tx, &backends, t0) {
+                return Err(fail(e, done_count, now(t0), &frags, &backends));
+            }
+            if let Err(e) = wedge_check(policy, &frags, done_count) {
+                return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
+            }
         }
 
         backends.shutdown();
@@ -397,9 +501,9 @@ impl Executor {
         tx: &Sender<MasterMsg>,
         backends: &Backends<'_>,
         t0: Instant,
-    ) {
+    ) -> Result<(), ControlFail> {
         let now = t0.elapsed().as_secs_f64();
-        for _round in 0..32 {
+        for _round in 0..FIXPOINT_ROUNDS {
             let snapshot: Vec<RunningTask> = frags
                 .iter()
                 .filter_map(|f| match &f.status {
@@ -417,24 +521,34 @@ impl Executor {
                 .collect();
             let actions = policy.decide(now, &snapshot);
             if actions.is_empty() {
-                return;
+                return Ok(());
             }
+            emit(&self.sink, || TraceRecord::Decide {
+                now,
+                running: snapshot.iter().map(RunningSnap::of).collect(),
+                actions: actions.clone(),
+            });
             for a in actions {
+                let (id, parallelism) = (a.task(), a.parallelism());
+                if !(parallelism > 0.0 && parallelism.is_finite()) {
+                    return Err(SchedError::InvalidParallelism { task: id, parallelism }.into());
+                }
                 let gid = frags
                     .iter()
-                    .position(|f| f.profile.id == a.task())
-                    .unwrap_or_else(|| panic!("policy referenced unknown task {}", a.task()));
+                    .position(|f| f.profile.id == id)
+                    .ok_or(SchedError::UnknownTask { task: id })?;
                 match a {
-                    Action::Start { parallelism, .. } => {
-                        self.start_fragment(frags, gid, parallelism, machine, tx, backends, t0)
+                    Action::Start { .. } => {
+                        self.start_fragment(frags, gid, parallelism, machine, tx, backends, t0)?
                     }
-                    Action::Adjust { parallelism, .. } => {
+                    Action::Adjust { .. } => {
                         self.adjust_fragment(frags, gid, parallelism, machine, backends)
                     }
                 }
+                emit(&self.sink, || TraceRecord::Applied { now, action: a });
             }
         }
-        panic!("policy {} did not reach a fixpoint in 32 rounds", policy.name());
+        Err(SchedError::FixpointDiverged { policy: policy.name(), rounds: FIXPOINT_ROUNDS }.into())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -447,11 +561,19 @@ impl Executor {
         tx: &Sender<MasterMsg>,
         backends: &Backends<'_>,
         t0: Instant,
-    ) {
-        assert!(
-            matches!(frags[gid].status, FragStatus::Ready),
-            "policy started fragment {gid} in the wrong state"
-        );
+    ) -> Result<(), ControlFail> {
+        match frags[gid].status {
+            FragStatus::Ready => {}
+            // The policy was never told about a Blocked fragment (arrival
+            // happens at the Ready transition), so a premature start is a
+            // reference to a task outside its announced universe.
+            FragStatus::Blocked => {
+                return Err(SchedError::UnknownTask { task: frags[gid].profile.id }.into());
+            }
+            FragStatus::Running(_) | FragStatus::Done => {
+                return Err(SchedError::AlreadyRunning { task: frags[gid].profile.id }.into());
+            }
+        }
         let x = to_workers(parallelism, self.cfg.machine.n_procs);
 
         // Materialized inputs, keyed by query-local fragment index.
@@ -465,21 +587,18 @@ impl Executor {
             .collect();
 
         // Partition state + work-unit count per driver.
+        let missing = |name: &str| ControlFail::Relation { fragment: gid, name: name.to_string() };
         let (partition, total_units) = match frags[gid].program.driver {
             Driver::PageScan { rel } => {
-                let relation = self
-                    .catalog
-                    .get(&frags[gid].bindings[rel].name)
-                    .unwrap_or_else(|| panic!("unknown relation {}", frags[gid].bindings[rel].name));
+                let name = &frags[gid].bindings[rel].name;
+                let relation = self.catalog.get(name).ok_or_else(|| missing(name))?;
                 let n = relation.heap.n_blocks();
                 (PartitionState::Page(PagePartition::new(n, x)), n)
             }
             Driver::KeyScan { rel } => {
                 let binding = &frags[gid].bindings[rel];
-                let relation = self
-                    .catalog
-                    .get(&binding.name)
-                    .unwrap_or_else(|| panic!("unknown relation {}", binding.name));
+                let relation =
+                    self.catalog.get(&binding.name).ok_or_else(|| missing(&binding.name))?;
                 let s = relation.stats();
                 let lo = binding.pred.0.max(s.min_a) as i64;
                 let hi = binding.pred.1.min(s.max_a) as i64;
@@ -528,11 +647,12 @@ impl Executor {
             if !ctx.done.swap(true, Ordering::SeqCst) {
                 let _ = tx.send(MasterMsg::FragmentDone(gid));
             }
-            return;
+            return Ok(());
         }
         for slot in 0..x as usize {
             backends.staff(&ctx, slot, machine, &self.catalog);
         }
+        Ok(())
     }
 
     fn adjust_fragment(
@@ -638,6 +758,42 @@ impl<'a> Backends<'a> {
     }
 }
 
+/// Transition a fragment to `Done` and hand back its running context.
+///
+/// A completion message for a fragment that is not running is a protocol
+/// violation: `Done` means a duplicate completion (the same fragment
+/// finished twice), anything else means a completion for a fragment that
+/// never started. The status is left untouched on error.
+fn take_running(status: &mut FragStatus, task: TaskId) -> Result<Arc<FragCtx>, SchedError> {
+    match std::mem::replace(status, FragStatus::Done) {
+        FragStatus::Running(ctx) => Ok(ctx),
+        FragStatus::Done => Err(SchedError::DuplicateCompletion { task }),
+        other => {
+            *status = other;
+            Err(SchedError::NotRunning { task })
+        }
+    }
+}
+
+/// A run with unfinished fragments but nothing running will never receive
+/// another completion message: the policy has wedged, and blocking on the
+/// channel would hang forever. Detect it right after each decision round.
+fn wedge_check(
+    policy: &dyn SchedulePolicy,
+    frags: &[FragSlot],
+    completed: usize,
+) -> Result<(), SchedError> {
+    if completed < frags.len()
+        && !frags.iter().any(|f| matches!(f.status, FragStatus::Running(_)))
+    {
+        return Err(SchedError::Wedged {
+            policy: policy.name(),
+            unfinished: frags.len() - completed,
+        });
+    }
+    Ok(())
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -671,4 +827,41 @@ fn range_partition(lo: i64, hi: i64, x: u32) -> (PartitionState, u64) {
 
 fn to_workers(x: f64, n_procs: u32) -> u32 {
     (x.round() as i64).clamp(1, n_procs as i64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_completion_is_a_typed_error_not_a_panic() {
+        // A second FragmentDone for an already-finalized fragment used to
+        // panic the master; now it is SchedError::DuplicateCompletion.
+        let mut status = FragStatus::Done;
+        let err = take_running(&mut status, TaskId(3)).err().expect("dup must surface");
+        assert_eq!(err, SchedError::DuplicateCompletion { task: TaskId(3) });
+        assert!(matches!(status, FragStatus::Done), "status must stay Done");
+    }
+
+    #[test]
+    fn completion_for_a_never_started_fragment_is_not_running() {
+        let mut status = FragStatus::Ready;
+        let err = take_running(&mut status, TaskId(4)).err().expect("must surface");
+        assert_eq!(err, SchedError::NotRunning { task: TaskId(4) });
+        assert!(matches!(status, FragStatus::Ready), "status must be restored");
+    }
+
+    #[test]
+    fn sched_exec_error_exposes_its_source() {
+        use std::error::Error;
+        let e = ExecError::Sched {
+            source: SchedError::DuplicateCompletion { task: TaskId(1) },
+            completed: 2,
+            total: 5,
+        };
+        assert!(e.to_string().contains("2/5"));
+        assert!(e.source().is_some());
+        let e = ExecError::UnknownRelation { fragment: 7, name: "ghost".to_string() };
+        assert!(e.to_string().contains("ghost"));
+    }
 }

@@ -31,11 +31,13 @@
 //! of parallelism, which is exactly the deficiency Figure 7 exposes.
 
 use crate::balance::{balance_point, balance_point_constant_b, BalancePoint};
-use crate::estimate::inter_is_worthwhile;
+use crate::error::SchedError;
+use crate::estimate::{t_inter, t_intra};
 use crate::machine::MachineConfig;
 use crate::pairing::Pairing;
 use crate::policy::{round_parallelism, Action, RunningTask, SchedulePolicy};
 use crate::task::{Boundedness, TaskId, TaskProfile};
+use crate::trace::{emit, SharedSink, TraceRecord};
 
 /// Configuration of the adaptive scheduler.
 #[derive(Debug, Clone)]
@@ -79,17 +81,50 @@ impl AdaptiveConfig {
 }
 
 /// The Section 2.5 adaptive scheduler.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct AdaptiveScheduler {
     cfg: AdaptiveConfig,
     s_io: Vec<TaskProfile>,
     s_cpu: Vec<TaskProfile>,
+    rejected: Vec<(f64, TaskId, SchedError)>,
+    sink: Option<SharedSink>,
+}
+
+impl std::fmt::Debug for AdaptiveScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveScheduler")
+            .field("cfg", &self.cfg)
+            .field("s_io", &self.s_io)
+            .field("s_cpu", &self.s_cpu)
+            .field("rejected", &self.rejected)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl AdaptiveScheduler {
     /// Build the scheduler; see [`AdaptiveConfig`].
     pub fn new(cfg: AdaptiveConfig) -> Self {
-        AdaptiveScheduler { cfg, s_io: Vec::new(), s_cpu: Vec::new() }
+        AdaptiveScheduler {
+            cfg,
+            s_io: Vec::new(),
+            s_cpu: Vec::new(),
+            rejected: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Record queue snapshots and candidate evaluations into `sink`. Share
+    /// the same sink with the driver so policy and driver records interleave
+    /// in event order.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Arrivals rejected at the policy boundary as `(time, task, why)` —
+    /// profiles that failed [`TaskProfile::validate`] and were never queued.
+    pub fn rejected(&self) -> &[(f64, TaskId, SchedError)] {
+        &self.rejected
     }
 
     /// Number of tasks waiting in the IO-bound queue.
@@ -122,6 +157,34 @@ impl AdaptiveScheduler {
             balance_point(f_io, f_cpu, self.m())
         };
         bp.filter(|bp| bp.x_io >= 1.0 && bp.x_cpu >= 1.0)
+    }
+
+    /// Balance a candidate pair and run the step-4 `T_inter` vs `T_intra`
+    /// comparison, emitting a [`TraceRecord::Candidate`] with the full
+    /// verdict when a trace sink is attached. Returns the balance point only
+    /// when pairing wins.
+    fn evaluate_pair(
+        &self,
+        now: f64,
+        f_io: &TaskProfile,
+        f_cpu: &TaskProfile,
+    ) -> Option<BalancePoint> {
+        let bp = self.balance(f_io, f_cpu)?;
+        let inter = t_inter(f_io, f_cpu, &bp, self.m()).elapsed;
+        let intra = t_intra(f_io, self.m()) + t_intra(f_cpu, self.m());
+        let worthwhile = inter < intra;
+        emit(&self.sink, || TraceRecord::Candidate {
+            now,
+            io: f_io.id,
+            cpu: f_cpu.id,
+            x_io: bp.x_io,
+            x_cpu: bp.x_cpu,
+            effective_bw: bp.effective_bw,
+            t_inter: inter,
+            t_intra: intra,
+            worthwhile,
+        });
+        worthwhile.then_some(bp)
     }
 
     /// Can `a` and `b` hold their working memory simultaneously?
@@ -163,7 +226,7 @@ impl AdaptiveScheduler {
 
     /// Start a fresh pair from the two queues if one is worthwhile.
     /// Returns the actions, or an intra-only start if pairing loses.
-    fn start_fresh_pair(&mut self) -> Vec<Action> {
+    fn start_fresh_pair(&mut self, now: f64) -> Vec<Action> {
         let i = self.cfg.pairing.pick(&self.s_io, true);
         let f_io = self.s_io[i].clone();
         // Memory constraint (Section 5): only partners that fit alongside
@@ -174,16 +237,14 @@ impl AdaptiveScheduler {
                 eligible.iter().map(|&k| self.s_cpu[k].clone()).collect();
             let j = eligible[self.cfg.pairing.pick(&view, false)];
             let f_cpu = self.s_cpu[j].clone();
-            if let Some(bp) = self.balance(&f_io, &f_cpu) {
-                if inter_is_worthwhile(&f_io, &f_cpu, &bp, self.m()) {
-                    self.s_io.remove(i);
-                    self.s_cpu.remove(j);
-                    let (xi, xj) = self.split(bp.x_io, bp.x_cpu);
-                    return vec![
-                        Action::Start { id: f_io.id, parallelism: xi },
-                        Action::Start { id: f_cpu.id, parallelism: xj },
-                    ];
-                }
+            if let Some(bp) = self.evaluate_pair(now, &f_io, &f_cpu) {
+                self.s_io.remove(i);
+                self.s_cpu.remove(j);
+                let (xi, xj) = self.split(bp.x_io, bp.x_cpu);
+                return vec![
+                    Action::Start { id: f_io.id, parallelism: xi },
+                    Action::Start { id: f_cpu.id, parallelism: xj },
+                ];
             }
         }
         // Step 4's "otherwise": run the tasks one at a time. We start the
@@ -211,7 +272,7 @@ impl AdaptiveScheduler {
 
     /// INTER-WITH-ADJ: one task `r` is running; draw a partner from the
     /// opposite queue, re-balance against `r`'s remaining work and adjust.
-    fn repair_with_adjustment(&mut self, r: &RunningTask) -> Vec<Action> {
+    fn repair_with_adjustment(&mut self, now: f64, r: &RunningTask) -> Vec<Action> {
         let rem = r.remaining_profile();
         let r_is_io = rem.classify(self.m()) == Boundedness::IoBound;
         let opposite = if r_is_io { &self.s_cpu } else { &self.s_io };
@@ -221,22 +282,20 @@ impl AdaptiveScheduler {
             let k = eligible[self.cfg.pairing.pick(&view, !r_is_io)];
             let cand = opposite[k].clone();
             let (f_io, f_cpu) = if r_is_io { (rem.clone(), cand.clone()) } else { (cand.clone(), rem.clone()) };
-            if let Some(bp) = self.balance(&f_io, &f_cpu) {
-                if inter_is_worthwhile(&f_io, &f_cpu, &bp, self.m()) {
-                    if r_is_io {
-                        self.s_cpu.remove(k);
-                    } else {
-                        self.s_io.remove(k);
-                    }
-                    let (xi, xj) = self.split(bp.x_io, bp.x_cpu);
-                    let (x_r, x_cand) = if r_is_io { (xi, xj) } else { (xj, xi) };
-                    let mut acts = Vec::new();
-                    if (x_r - r.parallelism).abs() > f64::EPSILON {
-                        acts.push(Action::Adjust { id: rem.id, parallelism: x_r });
-                    }
-                    acts.push(Action::Start { id: cand.id, parallelism: x_cand });
-                    return acts;
+            if let Some(bp) = self.evaluate_pair(now, &f_io, &f_cpu) {
+                if r_is_io {
+                    self.s_cpu.remove(k);
+                } else {
+                    self.s_io.remove(k);
                 }
+                let (xi, xj) = self.split(bp.x_io, bp.x_cpu);
+                let (x_r, x_cand) = if r_is_io { (xi, xj) } else { (xj, xi) };
+                let mut acts = Vec::new();
+                if (x_r - r.parallelism).abs() > f64::EPSILON {
+                    acts.push(Action::Adjust { id: rem.id, parallelism: x_r });
+                }
+                acts.push(Action::Start { id: cand.id, parallelism: x_cand });
+                return acts;
             }
         }
         // No worthwhile partner: spread the survivor over the freed
@@ -296,8 +355,15 @@ impl AdaptiveScheduler {
                 }
                 // A task's parallelism is limited by the rectangle
                 // boundaries (Figure 3): the candidate may not demand more
-                // bandwidth than the running task leaves free.
-                let bw_room = ((b - d_r) / cand.io_rate).floor();
+                // bandwidth than the running task leaves free. A zero-rate
+                // candidate (struct-literal profiles bypass TaskProfile::new)
+                // demands nothing, so only the processor boundary applies —
+                // dividing by it would poison x_max with inf or NaN.
+                let bw_room = if cand.io_rate > 0.0 {
+                    ((b - d_r) / cand.io_rate).floor()
+                } else {
+                    avail
+                };
                 let x_max = avail.min(bw_room);
                 let mut x = 1.0;
                 while x <= x_max + 0.5 {
@@ -333,7 +399,19 @@ impl SchedulePolicy for AdaptiveScheduler {
         &self.cfg.machine
     }
 
-    fn on_arrival(&mut self, _now: f64, task: TaskProfile) {
+    fn on_arrival(&mut self, now: f64, task: TaskProfile) {
+        // Policy-boundary validation: a poisoned profile (zero io_rate,
+        // non-finite seq_time) would turn every balance computation it
+        // touches into inf/NaN. Reject it here, once, with a record of why.
+        if let Err(e) = task.validate() {
+            emit(&self.sink, || TraceRecord::Rejected {
+                now,
+                task: task.id,
+                reason: e.to_string(),
+            });
+            self.rejected.push((now, task.id, e));
+            return;
+        }
         match task.classify(self.m()) {
             Boundedness::IoBound => self.s_io.push(task),
             Boundedness::CpuBound => self.s_cpu.push(task),
@@ -342,18 +420,23 @@ impl SchedulePolicy for AdaptiveScheduler {
 
     fn on_finish(&mut self, _now: f64, _id: TaskId) {}
 
-    fn decide(&mut self, _now: f64, running: &[RunningTask]) -> Vec<Action> {
+    fn decide(&mut self, now: f64, running: &[RunningTask]) -> Vec<Action> {
+        if self.sink.is_some() && !(self.s_io.is_empty() && self.s_cpu.is_empty()) {
+            let io: Vec<TaskId> = self.s_io.iter().map(|t| t.id).collect();
+            let cpu: Vec<TaskId> = self.s_cpu.iter().map(|t| t.id).collect();
+            emit(&self.sink, || TraceRecord::Queues { now, io, cpu });
+        }
         match running.len() {
             0 => {
                 if !self.s_io.is_empty() && !self.s_cpu.is_empty() {
-                    self.start_fresh_pair()
+                    self.start_fresh_pair(now)
                 } else {
                     self.start_solo()
                 }
             }
             1 => {
                 if self.cfg.adjust {
-                    self.repair_with_adjustment(&running[0])
+                    self.repair_with_adjustment(now, &running[0])
                 } else {
                     self.repair_without_adjustment(&running[0])
                 }
@@ -539,6 +622,78 @@ mod tests {
         s.on_arrival(0.0, seq(0, 20.0, 65.0).with_memory(1e18));
         s.on_arrival(0.0, seq(1, 20.0, 8.0).with_memory(1e18));
         assert_eq!(s.decide(0.0, &[]).len(), 2);
+    }
+
+    #[test]
+    fn invalid_profile_is_rejected_at_the_boundary() {
+        let mut s = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
+        // Struct literal sidesteps TaskProfile::new's asserts — exactly how a
+        // poisoned profile reaches a policy in production.
+        let poison = TaskProfile {
+            id: TaskId(9),
+            seq_time: 10.0,
+            io_rate: 0.0,
+            io_kind: IoKind::Sequential,
+            memory: 0.0,
+        };
+        s.on_arrival(1.5, poison);
+        assert_eq!(s.pending_io() + s.pending_cpu(), 0);
+        let rej = s.rejected();
+        assert_eq!(rej.len(), 1);
+        assert_eq!(rej[0].1, TaskId(9));
+        assert!(matches!(
+            rej[0].2,
+            crate::error::SchedError::InvalidProfile { field: "io_rate", .. }
+        ));
+        // A rejected arrival never reaches decide().
+        assert!(s.decide(2.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn without_adjustment_tolerates_zero_rate_candidates() {
+        // Inject a zero-io_rate profile directly into the CPU queue (bypassing
+        // the boundary validation) to prove the bw_room division is guarded:
+        // before the guard this yielded inf/NaN room and release-mode UB in
+        // the float-to-int comparisons downstream.
+        let mut s = AdaptiveScheduler::new(AdaptiveConfig::without_adjustment(m()));
+        s.s_cpu.push(TaskProfile {
+            id: TaskId(1),
+            seq_time: 10.0,
+            io_rate: 0.0,
+            io_kind: IoKind::Sequential,
+            memory: 0.0,
+        });
+        let io = seq(0, 30.0, 60.0);
+        let r = run_snapshot(&io, 4.0, 20.0); // 4 × 60 = 240 = B: no bw room
+        let acts = s.decide(5.0, &[r]);
+        // The zero-rate candidate costs no bandwidth, so it may start on the
+        // free processors — but the allocation must be finite and sane.
+        for a in &acts {
+            assert!(a.parallelism().is_finite());
+            assert!(a.parallelism() >= 1.0 && a.parallelism() <= 4.0);
+        }
+    }
+
+    #[test]
+    fn trace_sink_records_queues_and_candidates() {
+        use crate::trace::{RingSink, TraceRecord};
+        use std::sync::{Arc, Mutex};
+        let ring = Arc::new(Mutex::new(RingSink::unbounded()));
+        let mut s = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
+        s.set_trace_sink(ring.clone());
+        s.on_arrival(0.0, seq(0, 20.0, 65.0));
+        s.on_arrival(0.0, seq(1, 20.0, 8.0));
+        let acts = s.decide(0.0, &[]);
+        assert_eq!(acts.len(), 2);
+        let records = ring.lock().unwrap().records();
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::Queues { io, cpu, .. } if io == &[TaskId(0)] && cpu == &[TaskId(1)]
+        )));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::Candidate { io: TaskId(0), cpu: TaskId(1), worthwhile: true, .. }
+        )));
     }
 
     #[test]

@@ -39,15 +39,23 @@ pub struct BalancePoint {
 
 /// Closed-form balance point assuming a constant aggregate bandwidth `b`.
 ///
-/// Returns `None` unless `c_io > b/n > c_cpu`, the condition under which both
-/// parallelism coordinates are strictly positive.
+/// The class check mirrors [`TaskProfile::classify`]'s strict `>`: the IO
+/// side must have `c_io > b/n`, the CPU side must *not* (`c_cpu <= b/n`).
+/// A task sitting exactly on the threshold is a legal CPU-bound partner —
+/// its balance point degenerates to `x_io = 0`, which (like any
+/// non-positive coordinate) is reported as `None` rather than a split that
+/// allocates nothing to one side.
 pub fn balance_point_constant_b(c_io: f64, c_cpu: f64, n: f64, b: f64) -> Option<BalancePoint> {
-    if !(c_io > b / n && c_cpu < b / n) {
-        return None;
+    let threshold = b / n;
+    // NaN-aware: a NaN rate fails the Greater test and falls out as None.
+    if c_io.partial_cmp(&threshold) != Some(std::cmp::Ordering::Greater) || c_cpu > threshold {
+        return None; // class mismatch under strict-> classification
     }
     let x_io = (b - c_cpu * n) / (c_io - c_cpu);
     let x_cpu = (c_io * n - b) / (c_io - c_cpu);
-    debug_assert!(x_io > 0.0 && x_cpu > 0.0);
+    if !(x_io > 0.0 && x_cpu > 0.0) {
+        return None; // degenerate: one side would get zero processors
+    }
     Some(BalancePoint { x_io, x_cpu, effective_bw: b })
 }
 
@@ -190,11 +198,17 @@ pub fn balance_point(io: &TaskProfile, cpu: &TaskProfile, m: &MachineConfig) -> 
 ///
 /// Execution engines allocate whole backends; the fractional optimum is
 /// rounded to the nearest integer split with at least one worker per task.
-pub fn integral_split(bp: &BalancePoint, m: &MachineConfig) -> (u32, u32) {
+/// Returns `None` on machines with fewer than two processors — there is no
+/// split that gives both tasks a worker, and the old `clamp(1.0, 0.0)`
+/// would panic in release builds (debug builds masked it behind a
+/// `debug_assert!`).
+pub fn integral_split(bp: &BalancePoint, m: &MachineConfig) -> Option<(u32, u32)> {
     let n = m.n_procs;
-    debug_assert!(n >= 2, "cannot split fewer than two processors");
+    if n < 2 {
+        return None;
+    }
     let x_io = bp.x_io.round().clamp(1.0, (n - 1) as f64) as u32;
-    (x_io, n - x_io)
+    Some((x_io, n - x_io))
 }
 
 #[cfg(test)]
@@ -332,9 +346,32 @@ mod tests {
         let io = seq(0, 55.0);
         let cpu = seq(1, 12.0);
         let bp = balance_point(&io, &cpu, &m()).unwrap();
-        let (a, b) = integral_split(&bp, &m());
+        let (a, b) = integral_split(&bp, &m()).unwrap();
         assert_eq!(a + b, 8);
         assert!(a >= 1 && b >= 1);
+    }
+
+    #[test]
+    fn integral_split_on_a_uniprocessor_is_none_not_a_panic() {
+        let mut machine = m();
+        machine.n_procs = 1;
+        let bp = BalancePoint { x_io: 0.6, x_cpu: 0.4, effective_bw: 240.0 };
+        assert_eq!(integral_split(&bp, &machine), None);
+        machine.n_procs = 2;
+        assert_eq!(integral_split(&bp, &machine), Some((1, 1)));
+    }
+
+    #[test]
+    fn constant_b_boundary_matches_strict_classification() {
+        // B/N = 30. A partner sitting exactly on the threshold classifies as
+        // CPU-bound (strict >), so it is not a class mismatch — but its
+        // balance point degenerates to x_io = 0 and is reported as None.
+        assert!(balance_point_constant_b(60.0, 30.0, 8.0, 240.0).is_none());
+        // Just below the threshold the pair balances normally...
+        let bp = balance_point_constant_b(60.0, 30.0 - 1e-6, 8.0, 240.0).unwrap();
+        assert!(bp.x_io > 0.0 && bp.x_cpu > 0.0);
+        // ...and an IO side exactly on the threshold is not IO-bound.
+        assert!(balance_point_constant_b(30.0, 10.0, 8.0, 240.0).is_none());
     }
 
     #[test]

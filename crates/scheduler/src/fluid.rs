@@ -18,12 +18,20 @@
 //! exactly the recursive `T_n(S)` formula of Section 4, including the
 //! order-dependency extension for fragments of a bushy plan, which is what
 //! the optimizer's `parcost(p, n)` evaluates.
+//!
+//! Control-path anomalies — a policy that never reaches a fixpoint, an
+//! action naming an unknown or non-running task, a wedged schedule — are
+//! returned as [`SchedError`]s, not panics, and every decision is optionally
+//! recorded into a [`crate::trace::TraceSink`] attached with
+//! [`FluidSim::with_sink`].
 
 use crate::balance::effective_bandwidth;
 use crate::deps::FragmentDag;
+use crate::error::SchedError;
 use crate::machine::MachineConfig;
 use crate::policy::{Action, RunningTask, SchedulePolicy};
 use crate::task::{TaskId, TaskProfile};
+use crate::trace::{emit, RunningSnap, SharedSink, TraceRecord};
 
 /// One interval of the schedule during which the running set was constant.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,37 +122,66 @@ struct RunState {
     started_at: f64,
 }
 
+/// Rounds of `decide()` the driver allows at one instant before declaring
+/// [`SchedError::FixpointDiverged`]. Shared by all three drivers.
+pub const FIXPOINT_ROUNDS: u32 = 32;
+
 /// Fluid-model driver: replays any [`SchedulePolicy`] over a task set (with
 /// optional arrival times and dependencies) in virtual time.
 pub struct FluidSim {
     machine: MachineConfig,
+    sink: Option<SharedSink>,
 }
 
 impl FluidSim {
     /// Driver for machine `m` (must match the policy's machine).
     pub fn new(machine: MachineConfig) -> Self {
-        FluidSim { machine }
+        FluidSim { machine, sink: None }
+    }
+
+    /// Record every arrival, decision and applied action into `sink`.
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Replay `policy` over tasks that are all runnable at time zero.
-    pub fn run<P: SchedulePolicy + ?Sized>(&self, policy: &mut P, tasks: &[TaskProfile]) -> FluidResult {
+    ///
+    /// # Errors
+    /// Any control-path [`SchedError`] the policy provokes; see
+    /// [`FluidSim::run_inner` invariants](SchedError) for the taxonomy.
+    pub fn run<P: SchedulePolicy + ?Sized>(
+        &self,
+        policy: &mut P,
+        tasks: &[TaskProfile],
+    ) -> Result<FluidResult, SchedError> {
         let arrivals: Vec<(TaskProfile, f64)> = tasks.iter().map(|t| (t.clone(), 0.0)).collect();
         self.run_with_arrivals(policy, &arrivals)
     }
 
     /// Replay `policy` over a stream of `(task, arrival time)` pairs.
+    ///
+    /// # Errors
+    /// Any control-path [`SchedError`] the policy provokes.
     pub fn run_with_arrivals<P: SchedulePolicy + ?Sized>(
         &self,
         policy: &mut P,
         arrivals: &[(TaskProfile, f64)],
-    ) -> FluidResult {
+    ) -> Result<FluidResult, SchedError> {
         let dag = FragmentDag::new();
         self.run_inner(policy, arrivals, &dag, &[])
     }
 
     /// Replay `policy` over a fragment DAG: a fragment is released when all
     /// of its producers have finished (Section 4's ready check).
-    pub fn run_dag<P: SchedulePolicy + ?Sized>(&self, policy: &mut P, dag: &FragmentDag) -> FluidResult {
+    ///
+    /// # Errors
+    /// Any control-path [`SchedError`] the policy provokes.
+    pub fn run_dag<P: SchedulePolicy + ?Sized>(
+        &self,
+        policy: &mut P,
+        dag: &FragmentDag,
+    ) -> Result<FluidResult, SchedError> {
         let arrivals: Vec<(TaskProfile, f64)> = dag
             .roots()
             .into_iter()
@@ -154,16 +191,30 @@ impl FluidSim {
         self.run_inner(policy, &arrivals, dag, &blocked)
     }
 
+    /// Emit an [`TraceRecord::Error`] and return the error — every `Err`
+    /// path funnels through here so a captured trace always ends with the
+    /// failure it led up to.
+    fn fail(&self, now: f64, err: SchedError) -> SchedError {
+        emit(&self.sink, || TraceRecord::Error { now, message: err.to_string() });
+        err
+    }
+
     fn run_inner<P: SchedulePolicy + ?Sized>(
         &self,
         policy: &mut P,
         arrivals: &[(TaskProfile, f64)],
         dag: &FragmentDag,
         blocked: &[usize],
-    ) -> FluidResult {
+    ) -> Result<FluidResult, SchedError> {
         let m = &self.machine;
         let n = m.n_procs as f64;
         let eps = 1e-9;
+
+        emit(&self.sink, || TraceRecord::RunStart {
+            driver: "fluid".to_string(),
+            policy: policy.name().to_string(),
+            machine: m.clone(),
+        });
 
         let mut pending: Vec<(TaskProfile, f64)> = arrivals.to_vec();
         pending.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -187,12 +238,15 @@ impl FluidSim {
             // Deliver arrivals due now.
             while pending_idx < pending.len() && pending[pending_idx].1 <= now + eps {
                 let (t, at) = pending[pending_idx].clone();
-                policy.on_arrival(at.max(now), t);
+                let when = at.max(now);
+                emit(&self.sink, || TraceRecord::Arrival { now: when, profile: t.clone() });
+                policy.on_arrival(when, t);
                 pending_idx += 1;
             }
 
             // Let the policy reach a fixpoint of starts/adjusts.
-            for _round in 0..32 {
+            let mut settled = false;
+            for _round in 0..FIXPOINT_ROUNDS {
                 let snapshot: Vec<RunningTask> = running
                     .iter()
                     .map(|r| RunningTask {
@@ -203,37 +257,71 @@ impl FluidSim {
                     .collect();
                 let actions = policy.decide(now, &snapshot);
                 if actions.is_empty() {
+                    settled = true;
                     break;
                 }
+                emit(&self.sink, || TraceRecord::Decide {
+                    now,
+                    running: snapshot.iter().map(RunningSnap::of).collect(),
+                    actions: actions.clone(),
+                });
                 for a in actions {
+                    let (id, parallelism) = (a.task(), a.parallelism());
+                    if !(parallelism > 0.0 && parallelism.is_finite()) {
+                        return Err(self
+                            .fail(now, SchedError::InvalidParallelism { task: id, parallelism }));
+                    }
                     match a {
-                        Action::Start { id, parallelism } => {
-                            assert!(
-                                parallelism > 0.0,
-                                "policy {} started {id} with non-positive parallelism",
-                                policy.name()
-                            );
-                            let profile = known
-                                .iter()
-                                .find(|t| t.id == id)
-                                .unwrap_or_else(|| panic!("policy started unknown task {id}"))
-                                .clone();
-                            assert!(
-                                !running.iter().any(|r| r.profile.id == id),
-                                "policy started already-running task {id}"
-                            );
+                        Action::Start { .. } => {
+                            let profile = match known.iter().find(|t| t.id == id) {
+                                Some(p) => p.clone(),
+                                None => {
+                                    return Err(
+                                        self.fail(now, SchedError::UnknownTask { task: id })
+                                    )
+                                }
+                            };
+                            if running.iter().any(|r| r.profile.id == id) {
+                                return Err(
+                                    self.fail(now, SchedError::AlreadyRunning { task: id })
+                                );
+                            }
                             let remaining = profile.seq_time;
                             running.push(RunState { profile, parallelism, remaining, started_at: now });
                         }
-                        Action::Adjust { id, parallelism } => {
-                            let r = running
-                                .iter_mut()
-                                .find(|r| r.profile.id == id)
-                                .unwrap_or_else(|| panic!("policy adjusted non-running task {id}"));
-                            assert!(parallelism > 0.0, "adjust to non-positive parallelism");
+                        Action::Adjust { .. } => {
+                            let r = match running.iter_mut().find(|r| r.profile.id == id) {
+                                Some(r) => r,
+                                None => {
+                                    return Err(self.fail(now, SchedError::NotRunning { task: id }))
+                                }
+                            };
                             r.parallelism = parallelism;
                         }
                     }
+                    emit(&self.sink, || TraceRecord::Applied { now, action: a });
+                }
+            }
+            if !settled {
+                // One more non-empty round would make FIXPOINT_ROUNDS + 1
+                // consecutive action batches at a single instant: the
+                // policy's start/adjust stream is not converging.
+                let snapshot: Vec<RunningTask> = running
+                    .iter()
+                    .map(|r| RunningTask {
+                        profile: r.profile.clone(),
+                        parallelism: r.parallelism,
+                        remaining_seq_time: r.remaining,
+                    })
+                    .collect();
+                if !policy.decide(now, &snapshot).is_empty() {
+                    return Err(self.fail(
+                        now,
+                        SchedError::FixpointDiverged {
+                            policy: policy.name(),
+                            rounds: FIXPOINT_ROUNDS,
+                        },
+                    ));
                 }
             }
 
@@ -244,12 +332,16 @@ impl FluidSim {
                 }
                 // Idle until the next timed arrival. (Blocked fragments only
                 // unblock on completions, so if nothing runs and nothing can
-                // arrive the policy has wedged — surface that loudly.)
-                assert!(
-                    pending_idx < pending.len(),
-                    "policy {} wedged: blocked fragments remain but nothing is running",
-                    policy.name()
-                );
+                // arrive the policy has wedged.)
+                if pending_idx >= pending.len() {
+                    return Err(self.fail(
+                        now,
+                        SchedError::Wedged {
+                            policy: policy.name(),
+                            unfinished: total_tasks - task_times.len(),
+                        },
+                    ));
+                }
                 now = pending[pending_idx].1;
                 continue;
             }
@@ -300,6 +392,7 @@ impl FluidSim {
                     let r = running.remove(i);
                     task_times.push((r.profile.id, r.started_at, now));
                     finished_ids.push(r.profile.id);
+                    emit(&self.sink, || TraceRecord::Finish { now, task: r.profile.id });
                     policy.on_finish(now, r.profile.id);
                 } else {
                     i += 1;
@@ -314,34 +407,44 @@ impl FluidSim {
                     .all(|&d| finished_ids.contains(&dag.tasks()[d].id));
                 if ready {
                     blocked.remove(b);
-                    policy.on_arrival(now, dag.tasks()[idx].clone());
+                    let t = dag.tasks()[idx].clone();
+                    emit(&self.sink, || TraceRecord::Arrival { now, profile: t.clone() });
+                    policy.on_arrival(now, t);
                 } else {
                     b += 1;
                 }
             }
         }
 
-        assert_eq!(
-            task_times.len(),
-            total_tasks,
-            "fluid replay of {} did not complete all tasks (completed {} of {})",
-            policy.name(),
-            task_times.len(),
-            total_tasks
-        );
-        FluidResult { elapsed: now, task_times, trace }
+        if task_times.len() != total_tasks {
+            return Err(self.fail(
+                now,
+                SchedError::Incomplete {
+                    policy: policy.name(),
+                    completed: task_times.len(),
+                    total: total_tasks,
+                },
+            ));
+        }
+        Ok(FluidResult { elapsed: now, task_times, trace })
     }
 }
 
 /// The paper's `T_n(S)`: estimated elapsed time of executing the task set
 /// `S` on `m.n_procs` processors under the adaptive scheduling algorithm
 /// (fractional allocations, dynamic adjustment enabled).
+///
+/// Returns `f64::INFINITY` if the replay fails — a plan whose schedule
+/// cannot even be replayed must never win a cost comparison.
 pub fn tn_estimate(m: &MachineConfig, tasks: &[TaskProfile]) -> f64 {
     use crate::adaptive::{AdaptiveConfig, AdaptiveScheduler};
     let mut cfg = AdaptiveConfig::with_adjustment(m.clone());
     cfg.integral = false;
     let mut policy = AdaptiveScheduler::new(cfg);
-    FluidSim::new(m.clone()).run(&mut policy, tasks).elapsed
+    FluidSim::new(m.clone())
+        .run(&mut policy, tasks)
+        .map(|r| r.elapsed)
+        .unwrap_or(f64::INFINITY)
 }
 
 /// Joint `T_n` over the fragments of several queries scheduled together —
@@ -356,7 +459,8 @@ pub fn tn_estimate_dags(m: &MachineConfig, dags: &[&FragmentDag]) -> f64 {
 }
 
 /// `T_n(F(p))` over a fragment DAG with order dependencies — the quantity
-/// the optimizer calls `parcost(p, n)`.
+/// the optimizer calls `parcost(p, n)`. Returns `f64::INFINITY` if the
+/// replay fails (see [`tn_estimate`]).
 pub fn tn_estimate_dag(m: &MachineConfig, dag: &FragmentDag) -> f64 {
     use crate::adaptive::{AdaptiveConfig, AdaptiveScheduler};
     if dag.is_empty() {
@@ -365,7 +469,10 @@ pub fn tn_estimate_dag(m: &MachineConfig, dag: &FragmentDag) -> f64 {
     let mut cfg = AdaptiveConfig::with_adjustment(m.clone());
     cfg.integral = false;
     let mut policy = AdaptiveScheduler::new(cfg);
-    FluidSim::new(m.clone()).run_dag(&mut policy, dag).elapsed
+    FluidSim::new(m.clone())
+        .run_dag(&mut policy, dag)
+        .map(|r| r.elapsed)
+        .unwrap_or(f64::INFINITY)
 }
 
 #[cfg(test)]
@@ -388,7 +495,7 @@ mod tests {
     fn intra_only_elapsed_is_the_sum_of_t_intra() {
         let tasks = vec![seq(0, 24.0, 10.0), seq(1, 12.0, 60.0), seq(2, 8.0, 20.0)];
         let mut p = IntraOnly::new(m(), false);
-        let res = FluidSim::new(m()).run(&mut p, &tasks);
+        let res = FluidSim::new(m()).run(&mut p, &tasks).expect("replay");
         let expected: f64 = tasks.iter().map(|t| t_intra(t, &m())).sum();
         assert!((res.elapsed - expected).abs() < 1e-6, "{} vs {expected}", res.elapsed);
     }
@@ -397,7 +504,7 @@ mod tests {
     fn single_task_runs_at_maxp() {
         let tasks = vec![seq(0, 40.0, 60.0)]; // maxp = 4
         let mut p = IntraOnly::new(m(), false);
-        let res = FluidSim::new(m()).run(&mut p, &tasks);
+        let res = FluidSim::new(m()).run(&mut p, &tasks).expect("replay");
         assert!((res.elapsed - 10.0).abs() < 1e-6);
     }
 
@@ -406,11 +513,11 @@ mod tests {
         let tasks = vec![seq(0, 30.0, 65.0), seq(1, 30.0, 8.0)];
         let sim = FluidSim::new(m());
         let mut intra = IntraOnly::new(m(), false);
-        let t_base = sim.run(&mut intra, &tasks).elapsed;
+        let t_base = sim.run(&mut intra, &tasks).expect("replay").elapsed;
         let mut cfg = AdaptiveConfig::with_adjustment(m());
         cfg.integral = false;
         let mut adj = AdaptiveScheduler::new(cfg);
-        let t_adj = sim.run(&mut adj, &tasks).elapsed;
+        let t_adj = sim.run(&mut adj, &tasks).expect("replay").elapsed;
         assert!(
             t_adj < t_base * 0.95,
             "expected a clear win: with-adj {t_adj} vs intra {t_base}"
@@ -422,11 +529,11 @@ mod tests {
         let tasks: Vec<_> = (0..6).map(|i| seq(i, 10.0 + i as f64, 10.0 + i as f64)).collect();
         let sim = FluidSim::new(m());
         let mut intra = IntraOnly::new(m(), false);
-        let t_base = sim.run(&mut intra, &tasks).elapsed;
+        let t_base = sim.run(&mut intra, &tasks).expect("replay").elapsed;
         let mut cfg = AdaptiveConfig::with_adjustment(m());
         cfg.integral = false;
         let mut adj = AdaptiveScheduler::new(cfg);
-        let t_adj = sim.run(&mut adj, &tasks).elapsed;
+        let t_adj = sim.run(&mut adj, &tasks).expect("replay").elapsed;
         assert!((t_adj - t_base).abs() < 1e-6 * t_base);
     }
 
@@ -441,7 +548,7 @@ mod tests {
         let mut cfg = AdaptiveConfig::with_adjustment(m());
         cfg.integral = false;
         let mut adj = AdaptiveScheduler::new(cfg);
-        let res = FluidSim::new(m()).run(&mut adj, &tasks);
+        let res = FluidSim::new(m()).run(&mut adj, &tasks).expect("replay");
         let total_work: f64 = tasks.iter().map(|t| t.seq_time).sum();
         let total_ios: f64 = tasks.iter().map(|t| t.total_ios()).sum();
         // CPU bound: N processors; IO bound: the best bandwidth the array
@@ -456,7 +563,7 @@ mod tests {
         let mut cfg = AdaptiveConfig::with_adjustment(m());
         cfg.integral = false;
         let mut adj = AdaptiveScheduler::new(cfg);
-        let res = FluidSim::new(m()).run(&mut adj, &tasks);
+        let res = FluidSim::new(m()).run(&mut adj, &tasks).expect("replay");
         // While both run, CPU is fully allocated (utilization 1.0); the
         // average dips only during the survivor's maxp-limited tail. For
         // this pair the exact value is (8·t_pair + 4·t_tail)/(8·total) ≈ 0.78.
@@ -469,7 +576,7 @@ mod tests {
     fn timed_arrivals_delay_starts() {
         let arrivals = vec![(seq(0, 10.0, 10.0), 0.0), (seq(1, 10.0, 10.0), 100.0)];
         let mut p = IntraOnly::new(m(), false);
-        let res = FluidSim::new(m()).run_with_arrivals(&mut p, &arrivals);
+        let res = FluidSim::new(m()).run_with_arrivals(&mut p, &arrivals).expect("replay");
         // Task 0 finishes at 1.25; task 1 cannot start before 100.
         assert!((res.elapsed - 101.25).abs() < 1e-6);
         let t1 = res.task_times.iter().find(|(id, _, _)| *id == TaskId(1)).unwrap();
@@ -482,7 +589,7 @@ mod tests {
         let a = dag.add(seq(0, 16.0, 10.0), &[]);
         let _b = dag.add(seq(1, 16.0, 10.0), &[a]);
         let mut p = IntraOnly::new(m(), false);
-        let res = FluidSim::new(m()).run_dag(&mut p, &dag);
+        let res = FluidSim::new(m()).run_dag(&mut p, &dag).expect("replay");
         // Both CPU-bound at maxp 8: 2 + 2 seconds, strictly sequential.
         assert!((res.elapsed - 4.0).abs() < 1e-6);
     }
@@ -512,7 +619,7 @@ mod tests {
             let mut cfg = AdaptiveConfig::with_adjustment(m());
             cfg.integral = false;
             let mut p = AdaptiveScheduler::new(cfg);
-            FluidSim::new(m()).run(&mut p, &tasks).elapsed
+            FluidSim::new(m()).run(&mut p, &tasks).expect("replay").elapsed
         };
         assert!((tn_estimate(&m(), &tasks) - direct).abs() < 1e-9);
     }
@@ -521,9 +628,122 @@ mod tests {
     fn mean_response_time_uses_releases() {
         let tasks = vec![seq(0, 8.0, 10.0), seq(1, 8.0, 10.0)];
         let mut p = IntraOnly::new(m(), false);
-        let res = FluidSim::new(m()).run(&mut p, &tasks);
+        let res = FluidSim::new(m()).run(&mut p, &tasks).expect("replay");
         let releases: Vec<(TaskId, f64)> = tasks.iter().map(|t| (t.id, 0.0)).collect();
         // Finishes at 1 and 2 seconds ⇒ mean response 1.5.
         assert!((res.mean_response_time(&releases) - 1.5).abs() < 1e-6);
+    }
+
+    /// A policy that starts a task the driver was never told about.
+    struct RogueStart(MachineConfig);
+    impl SchedulePolicy for RogueStart {
+        fn name(&self) -> &'static str {
+            "ROGUE-START"
+        }
+        fn machine(&self) -> &MachineConfig {
+            &self.0
+        }
+        fn on_arrival(&mut self, _now: f64, _task: TaskProfile) {}
+        fn on_finish(&mut self, _now: f64, _task: TaskId) {}
+        fn decide(&mut self, _now: f64, running: &[RunningTask]) -> Vec<Action> {
+            if running.is_empty() {
+                vec![Action::Start { id: TaskId(999), parallelism: 1.0 }]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    /// A policy that re-adjusts forever: never reaches a fixpoint.
+    struct NeverSettles {
+        m: MachineConfig,
+        started: bool,
+        flip: f64,
+    }
+    impl SchedulePolicy for NeverSettles {
+        fn name(&self) -> &'static str {
+            "NEVER-SETTLES"
+        }
+        fn machine(&self) -> &MachineConfig {
+            &self.m
+        }
+        fn on_arrival(&mut self, _now: f64, _task: TaskProfile) {}
+        fn on_finish(&mut self, _now: f64, _task: TaskId) {}
+        fn decide(&mut self, _now: f64, _running: &[RunningTask]) -> Vec<Action> {
+            if !self.started {
+                self.started = true;
+                return vec![Action::Start { id: TaskId(0), parallelism: 1.0 }];
+            }
+            self.flip = if self.flip == 1.0 { 2.0 } else { 1.0 };
+            vec![Action::Adjust { id: TaskId(0), parallelism: self.flip }]
+        }
+    }
+
+    #[test]
+    fn unknown_task_is_a_typed_error_not_a_panic() {
+        let mut p = RogueStart(m());
+        let err = FluidSim::new(m()).run(&mut p, &[seq(0, 10.0, 10.0)]).unwrap_err();
+        assert_eq!(err, SchedError::UnknownTask { task: TaskId(999) });
+    }
+
+    #[test]
+    fn diverging_policy_is_a_typed_error_not_a_hang() {
+        let mut p = NeverSettles { m: m(), started: false, flip: 1.0 };
+        let err = FluidSim::new(m()).run(&mut p, &[seq(0, 10.0, 10.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::FixpointDiverged { policy: "NEVER-SETTLES", rounds: FIXPOINT_ROUNDS }
+        );
+    }
+
+    #[test]
+    fn error_paths_record_a_trace_error_record() {
+        use crate::trace::{shared, RingSink};
+        use std::sync::{Arc, Mutex};
+        let ring = Arc::new(Mutex::new(RingSink::unbounded()));
+        let sink: crate::trace::SharedSink = ring.clone();
+        let mut p = RogueStart(m());
+        let err = FluidSim::new(m())
+            .with_sink(sink)
+            .run(&mut p, &[seq(0, 10.0, 10.0)])
+            .unwrap_err();
+        let records = ring.lock().unwrap().records();
+        let last = records.last().expect("trace is non-empty");
+        match last {
+            TraceRecord::Error { message, .. } => assert_eq!(message, &err.to_string()),
+            other => panic!("expected a trailing Error record, got {other:?}"),
+        }
+        let _ = shared(RingSink::new(1)); // exercise the helper
+    }
+
+    #[test]
+    fn sinked_run_replays_identically() {
+        use crate::trace::{action_stream, parse_jsonl, JsonlSink};
+        use std::sync::{Arc, Mutex};
+
+        let tasks = vec![seq(0, 30.0, 65.0), seq(1, 30.0, 8.0), seq(2, 10.0, 40.0)];
+        let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())));
+        let shared_sink: crate::trace::SharedSink = sink.clone();
+        let mut cfg = AdaptiveConfig::with_adjustment(m());
+        cfg.integral = false;
+        let mut p = AdaptiveScheduler::new(cfg);
+        FluidSim::new(m()).with_sink(shared_sink).run(&mut p, &tasks).expect("replay");
+
+        // The driver was dropped after `run`, so this is the sole owner.
+        let Ok(cell) = Arc::try_unwrap(sink) else { unreachable!("sink still shared") };
+        let owned = cell.into_inner().unwrap();
+        assert!(owned.io_error().is_none());
+        let text = String::from_utf8(owned.into_inner()).unwrap();
+        let records = parse_jsonl(&text).expect("well-formed trace");
+        let recorded = action_stream(&records);
+        assert!(!recorded.is_empty());
+
+        // A fresh policy fed the recorded event stream re-derives every
+        // recorded decision.
+        let mut cfg = AdaptiveConfig::with_adjustment(m());
+        cfg.integral = false;
+        let mut fresh = AdaptiveScheduler::new(cfg);
+        let checked = crate::trace::replay_decisions(&records, &mut fresh).expect("replay");
+        assert!(checked > 0);
     }
 }

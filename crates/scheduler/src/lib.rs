@@ -54,6 +54,7 @@
 pub mod adaptive;
 pub mod balance;
 pub mod deps;
+pub mod error;
 pub mod estimate;
 pub mod fluid;
 pub mod intra;
@@ -61,13 +62,18 @@ pub mod machine;
 pub mod pairing;
 pub mod policy;
 pub mod task;
+pub mod trace;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveScheduler};
 pub use balance::{balance_point, BalancePoint};
 pub use deps::FragmentDag;
+pub use error::SchedError;
 pub use fluid::{FluidSim, ScheduleTrace};
 pub use intra::IntraOnly;
 pub use machine::MachineConfig;
 pub use pairing::Pairing;
 pub use policy::{Action, RunningTask, SchedulePolicy};
 pub use task::{Boundedness, IoKind, TaskId, TaskProfile};
+pub use trace::{
+    JsonlSink, NullSink, RingSink, RunningSnap, SharedSink, TraceRecord, TraceSink,
+};

@@ -101,9 +101,11 @@ pub trait SchedulePolicy {
 ///
 /// Policies that feed real execution engines (the DES and the threaded
 /// executor) must hand out whole backends; the analytic fluid estimator
-/// keeps the fractional optimum.
+/// keeps the fractional optimum. A `limit` of zero is treated as one — a
+/// task that runs at all runs on at least one worker (`clamp(1.0, 0.0)`
+/// would panic).
 pub fn round_parallelism(x: f64, limit: u32) -> f64 {
-    x.round().clamp(1.0, limit as f64)
+    x.round().clamp(1.0, limit.max(1) as f64)
 }
 
 #[cfg(test)]
@@ -140,6 +142,14 @@ mod tests {
         assert_eq!(round_parallelism(3.6, 8), 4.0);
         assert_eq!(round_parallelism(0.2, 8), 1.0);
         assert_eq!(round_parallelism(11.0, 8), 8.0);
+    }
+
+    #[test]
+    fn rounding_with_zero_limit_does_not_panic() {
+        // A degenerate limit (uniprocessor minus the reserved worker) must
+        // yield one worker, not an inverted-clamp panic.
+        assert_eq!(round_parallelism(3.4, 0), 1.0);
+        assert_eq!(round_parallelism(0.0, 1), 1.0);
     }
 
     #[test]

@@ -16,13 +16,47 @@
 //! finishing their pages below `maxpage`) happens by construction.
 
 use xprs_disk::{ArrayStats, DiskState, IoRequest, ServiceClass, StripedLayout, WorkerId};
+use xprs_scheduler::error::SchedError;
+use xprs_scheduler::fluid::FIXPOINT_ROUNDS;
 use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
+use xprs_scheduler::trace::{emit, RunningSnap, SharedSink, TraceRecord};
 use xprs_scheduler::{MachineConfig, TaskId};
 use xprs_storage::partition::{PagePartition, RangePartition};
 
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::SimReport;
 use crate::task::{AccessPattern, SimTask};
+
+/// A control-path failure during a simulation, with the statistics gathered
+/// up to the instant of failure — a wedged or diverging policy still leaves
+/// a usable partial report (and, with a trace sink attached, a replayable
+/// record of how it got there).
+#[derive(Debug, Clone)]
+pub struct SimError {
+    /// What went wrong.
+    pub source: SchedError,
+    /// The report as of the failure instant (task times of finished tasks,
+    /// disk statistics, event count). `elapsed` is the failure time.
+    pub partial: Box<SimReport>,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation failed at t={:.6}: {} ({} task(s) finished)",
+            self.partial.elapsed,
+            self.source,
+            self.partial.task_times.iter().filter(|(_, _, fin)| *fin > 0.0).count()
+        )
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -93,6 +127,7 @@ struct DiskRt {
 /// The simulator. Construct once, [`run`](Simulator::run) per experiment.
 pub struct Simulator {
     cfg: SimConfig,
+    sink: Option<SharedSink>,
 }
 
 struct Run<'p> {
@@ -109,25 +144,33 @@ struct Run<'p> {
     now: f64,
     n_events: u64,
     need_decide: bool,
+    sink: Option<SharedSink>,
 }
 
 impl Simulator {
     /// A simulator with configuration `cfg`.
     pub fn new(cfg: SimConfig) -> Self {
-        Simulator { cfg }
+        Simulator { cfg, sink: None }
+    }
+
+    /// Record every arrival, decision and applied action into `sink`.
+    pub fn with_trace(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Simulate `policy` over tasks released at the given times.
     ///
-    /// # Panics
-    /// Panics if the policy wedges (tasks remain but it never starts them) —
-    /// a policy bug that should fail loudly rather than report a bogus
-    /// elapsed time.
+    /// # Errors
+    /// A policy that wedges (tasks remain but it never starts them), never
+    /// reaches a decision fixpoint, double-starts a task or references an
+    /// unknown one yields a [`SimError`] carrying the typed [`SchedError`]
+    /// and the partial statistics up to the failure instant.
     pub fn run(
         &self,
         policy: &mut dyn SchedulePolicy,
         arrivals: &[(SimTask, f64)],
-    ) -> SimReport {
+    ) -> Result<SimReport, SimError> {
         let machine = self.cfg.machine.clone();
         let disk_params = xprs_disk::DiskParams::from_rates(
             machine.seq_bw,
@@ -165,17 +208,31 @@ impl Simulator {
             now: 0.0,
             n_events: 0,
             need_decide: false,
+            sink: self.sink.clone(),
         };
+        emit(&run.sink, || TraceRecord::RunStart {
+            driver: "des".to_string(),
+            policy: run.policy.name().to_string(),
+            machine: machine.clone(),
+        });
         for (i, (_, at)) in arrivals.iter().enumerate() {
             run.queue.push(*at, EventKind::Arrival(i));
         }
-        run.main_loop();
-        run.report()
+        match run.main_loop() {
+            Ok(()) => Ok(run.report()),
+            Err(e) => {
+                emit(&run.sink, || TraceRecord::Error {
+                    now: run.now,
+                    message: e.to_string(),
+                });
+                Err(SimError { source: e, partial: Box::new(run.report()) })
+            }
+        }
     }
 }
 
 impl<'p> Run<'p> {
-    fn main_loop(&mut self) {
+    fn main_loop(&mut self) -> Result<(), SchedError> {
         while let Some((t, ev)) = self.queue.pop() {
             self.now = t;
             self.handle(ev);
@@ -187,20 +244,18 @@ impl<'p> Run<'p> {
             }
             if self.need_decide {
                 self.need_decide = false;
-                self.decide();
+                self.decide()?;
             }
         }
-        let unfinished: Vec<TaskId> = self
+        let unfinished = self
             .tasks
             .iter()
             .filter(|t| !matches!(t.state, TaskState::Done))
-            .map(|t| t.spec.profile.id)
-            .collect();
-        assert!(
-            unfinished.is_empty(),
-            "policy {} wedged; unfinished tasks: {unfinished:?}",
-            self.policy.name()
-        );
+            .count();
+        if unfinished > 0 {
+            return Err(SchedError::Wedged { policy: self.policy.name(), unfinished });
+        }
+        Ok(())
     }
 
     fn handle(&mut self, ev: EventKind) {
@@ -208,7 +263,9 @@ impl<'p> Run<'p> {
         match ev {
             EventKind::Arrival(i) => {
                 let profile = self.tasks[i].spec.profile.clone();
-                self.policy.on_arrival(self.now, profile);
+                let now = self.now;
+                emit(&self.sink, || TraceRecord::Arrival { now, profile: profile.clone() });
+                self.policy.on_arrival(now, profile);
                 self.need_decide = true;
             }
             EventKind::DiskDone(d) => self.disk_done(d),
@@ -295,7 +352,9 @@ impl<'p> Run<'p> {
             self.tasks[ti].finished_at = self.now;
             self.tasks[ti].partition = None;
             let id = self.tasks[ti].spec.profile.id;
-            self.policy.on_finish(self.now, id);
+            let now = self.now;
+            emit(&self.sink, || TraceRecord::Finish { now, task: id });
+            self.policy.on_finish(now, id);
             self.need_decide = true;
         } else if self.workers[w].buffered {
             // The read-ahead already landed: process it and keep the
@@ -341,8 +400,8 @@ impl<'p> Run<'p> {
 
     // -- policy integration --------------------------------------------------
 
-    fn decide(&mut self) {
-        for _round in 0..32 {
+    fn decide(&mut self) -> Result<(), SchedError> {
+        for _round in 0..FIXPOINT_ROUNDS {
             let snapshot: Vec<RunningTask> = self
                 .tasks
                 .iter()
@@ -356,13 +415,23 @@ impl<'p> Run<'p> {
                 .collect();
             let actions = self.policy.decide(self.now, &snapshot);
             if actions.is_empty() {
-                return;
+                return Ok(());
             }
+            let now = self.now;
+            emit(&self.sink, || TraceRecord::Decide {
+                now,
+                running: snapshot.iter().map(RunningSnap::of).collect(),
+                actions: actions.clone(),
+            });
             for a in actions {
+                let (id, parallelism) = (a.task(), a.parallelism());
+                if !(parallelism > 0.0 && parallelism.is_finite()) {
+                    return Err(SchedError::InvalidParallelism { task: id, parallelism });
+                }
                 match a {
-                    Action::Start { id, parallelism } => self.start_task(id, parallelism),
-                    Action::Adjust { id, parallelism } => {
-                        let ti = self.task_index(id);
+                    Action::Start { .. } => self.start_task(id, parallelism)?,
+                    Action::Adjust { .. } => {
+                        let ti = self.task_index(id)?;
                         let x = to_workers(parallelism, self.cfg.machine.n_procs);
                         // The policy sees its target immediately; the slaves
                         // converge after the protocol round-trip.
@@ -373,24 +442,24 @@ impl<'p> Run<'p> {
                         );
                     }
                 }
+                emit(&self.sink, || TraceRecord::Applied { now, action: a });
             }
         }
-        panic!("policy {} did not reach a fixpoint in 32 rounds", self.policy.name());
+        Err(SchedError::FixpointDiverged { policy: self.policy.name(), rounds: FIXPOINT_ROUNDS })
     }
 
-    fn task_index(&self, id: TaskId) -> usize {
+    fn task_index(&self, id: TaskId) -> Result<usize, SchedError> {
         self.tasks
             .iter()
             .position(|t| t.spec.profile.id == id)
-            .unwrap_or_else(|| panic!("policy referenced unknown task {id}"))
+            .ok_or(SchedError::UnknownTask { task: id })
     }
 
-    fn start_task(&mut self, id: TaskId, parallelism: f64) {
-        let ti = self.task_index(id);
-        assert!(
-            matches!(self.tasks[ti].state, TaskState::Pending),
-            "policy started task {id} twice"
-        );
+    fn start_task(&mut self, id: TaskId, parallelism: f64) -> Result<(), SchedError> {
+        let ti = self.task_index(id)?;
+        if !matches!(self.tasks[ti].state, TaskState::Pending) {
+            return Err(SchedError::AlreadyRunning { task: id });
+        }
         let x = to_workers(parallelism, self.cfg.machine.n_procs);
         let n_ios = self.tasks[ti].spec.n_ios;
         let partition = match self.tasks[ti].spec.access {
@@ -406,6 +475,7 @@ impl<'p> Run<'p> {
         for slot in 0..x as usize {
             self.spawn_worker(ti, slot);
         }
+        Ok(())
     }
 
     fn apply_adjust(&mut self, ti: usize, x: u32) {
@@ -509,7 +579,7 @@ mod tests {
         c.machine.n_procs = 1;
         let t = seq_task(0, 10.0, 50.0); // 500 pages at 50 io/s solo
         let mut policy = IntraOnly::new(c.machine.clone(), true);
-        let report = Simulator::new(c).run(&mut policy, &[(t, 0.0)]);
+        let report = Simulator::new(c).run(&mut policy, &[(t, 0.0)]).expect("sim");
         // Solo synchronous backend: elapsed ≈ seq_time (first I/O is a cold
         // random seek, the rest sequential).
         assert!(
@@ -525,7 +595,7 @@ mod tests {
     fn parallel_scan_sees_almost_sequential_service() {
         let t = seq_task(0, 10.0, 60.0); // IO-bound: maxp = 4 workers
         let mut policy = IntraOnly::new(cfg().machine, true);
-        let report = Simulator::new(cfg()).run(&mut policy, &[(t, 0.0)]);
+        let report = Simulator::new(cfg()).run(&mut policy, &[(t, 0.0)]).expect("sim");
         // With 4 workers interleaving on each disk, service degrades to the
         // almost-sequential class for the bulk of requests.
         assert!(
@@ -539,7 +609,7 @@ mod tests {
     fn parallelism_speeds_up_a_cpu_bound_task_near_linearly() {
         let t = seq_task(0, 16.0, 5.0); // 80 pages, 0.1897 s CPU each
         let mut policy = IntraOnly::new(cfg().machine, true);
-        let report = Simulator::new(cfg()).run(&mut policy, &[(t.clone(), 0.0)]);
+        let report = Simulator::new(cfg()).run(&mut policy, &[(t.clone(), 0.0)]).expect("sim");
         // 8 processors: elapsed near 16/8 = 2 (plus I/O pipeline slack).
         assert!(
             report.elapsed < 16.0 / 8.0 * 1.3,
@@ -553,7 +623,7 @@ mod tests {
     fn index_scan_pays_random_service() {
         let t = rnd_task(0, 10.0, 30.0);
         let mut policy = IntraOnly::new(cfg().machine, true);
-        let report = Simulator::new(cfg()).run(&mut policy, &[(t, 0.0)]);
+        let report = Simulator::new(cfg()).run(&mut policy, &[(t, 0.0)]).expect("sim");
         assert!(
             report.disk.random as f64 > 0.95 * report.disk.total() as f64,
             "index scan should be (almost) all random I/O: {:?}",
@@ -569,9 +639,9 @@ mod tests {
         ];
         let sim = Simulator::new(cfg());
         let mut intra = IntraOnly::new(cfg().machine, true);
-        let t_intra = sim.run(&mut intra, &tasks).elapsed;
+        let t_intra = sim.run(&mut intra, &tasks).expect("sim").elapsed;
         let mut adj = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(cfg().machine));
-        let t_adj = sim.run(&mut adj, &tasks).elapsed;
+        let t_adj = sim.run(&mut adj, &tasks).expect("sim").elapsed;
         assert!(
             t_adj < t_intra,
             "inter-operation parallelism should win on a mixed pair: {t_adj} vs {t_intra}"
@@ -582,7 +652,7 @@ mod tests {
     fn completion_notifies_policy_and_report_is_consistent() {
         let tasks = vec![(seq_task(0, 5.0, 40.0), 0.0), (seq_task(1, 5.0, 10.0), 1.0)];
         let mut policy = IntraOnly::new(cfg().machine, true);
-        let report = Simulator::new(cfg()).run(&mut policy, &tasks);
+        let report = Simulator::new(cfg()).run(&mut policy, &tasks).expect("sim");
         assert_eq!(report.task_times.len(), 2);
         for (_, start, finish) in &report.task_times {
             assert!(finish > start);
@@ -598,10 +668,178 @@ mod tests {
     fn utilization_metrics_are_sane() {
         let tasks = vec![(seq_task(0, 20.0, 65.0), 0.0), (seq_task(1, 20.0, 6.0), 0.0)];
         let mut adj = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(cfg().machine));
-        let report = Simulator::new(cfg()).run(&mut adj, &tasks);
+        let report = Simulator::new(cfg()).run(&mut adj, &tasks).expect("sim");
         let cpu = report.cpu_utilization(8);
         let dsk = report.disk_utilization(4);
         assert!(cpu > 0.0 && cpu <= 1.0, "cpu utilization {cpu}");
         assert!(dsk > 0.0 && dsk <= 1.0, "disk utilization {dsk}");
+    }
+
+    /// A policy that always emits an Adjust — it can never reach a fixpoint.
+    struct NeverSettles {
+        machine: MachineConfig,
+        started: bool,
+        flip: bool,
+    }
+
+    impl SchedulePolicy for NeverSettles {
+        fn name(&self) -> &'static str {
+            "NEVER-SETTLES"
+        }
+        fn machine(&self) -> &MachineConfig {
+            &self.machine
+        }
+        fn on_arrival(&mut self, _now: f64, _task: TaskProfile) {}
+        fn on_finish(&mut self, _now: f64, _id: TaskId) {}
+        fn decide(&mut self, _now: f64, _running: &[RunningTask]) -> Vec<Action> {
+            if !self.started {
+                self.started = true;
+                return vec![Action::Start { id: TaskId(0), parallelism: 1.0 }];
+            }
+            self.flip = !self.flip;
+            let x = if self.flip { 2.0 } else { 3.0 };
+            vec![Action::Adjust { id: TaskId(0), parallelism: x }]
+        }
+    }
+
+    /// A policy that starts a task the driver never heard of.
+    struct RogueStart {
+        machine: MachineConfig,
+        done: bool,
+    }
+
+    impl SchedulePolicy for RogueStart {
+        fn name(&self) -> &'static str {
+            "ROGUE-START"
+        }
+        fn machine(&self) -> &MachineConfig {
+            &self.machine
+        }
+        fn on_arrival(&mut self, _now: f64, _task: TaskProfile) {}
+        fn on_finish(&mut self, _now: f64, _id: TaskId) {}
+        fn decide(&mut self, _now: f64, _running: &[RunningTask]) -> Vec<Action> {
+            if self.done {
+                return vec![];
+            }
+            self.done = true;
+            vec![Action::Start { id: TaskId(999), parallelism: 1.0 }]
+        }
+    }
+
+    /// A policy that starts the same task twice in one decision batch.
+    struct DoubleStart {
+        machine: MachineConfig,
+        done: bool,
+    }
+
+    impl SchedulePolicy for DoubleStart {
+        fn name(&self) -> &'static str {
+            "DOUBLE-START"
+        }
+        fn machine(&self) -> &MachineConfig {
+            &self.machine
+        }
+        fn on_arrival(&mut self, _now: f64, _task: TaskProfile) {}
+        fn on_finish(&mut self, _now: f64, _id: TaskId) {}
+        fn decide(&mut self, _now: f64, _running: &[RunningTask]) -> Vec<Action> {
+            if self.done {
+                return vec![];
+            }
+            self.done = true;
+            vec![
+                Action::Start { id: TaskId(0), parallelism: 1.0 },
+                Action::Start { id: TaskId(0), parallelism: 2.0 },
+            ]
+        }
+    }
+
+    #[test]
+    fn diverging_policy_is_a_typed_error_with_partial_stats() {
+        let mut policy = NeverSettles { machine: cfg().machine, started: false, flip: false };
+        let err = Simulator::new(cfg())
+            .run(&mut policy, &[(seq_task(0, 5.0, 40.0), 0.0)])
+            .expect_err("divergence must surface");
+        assert_eq!(
+            err.source,
+            SchedError::FixpointDiverged { policy: "NEVER-SETTLES", rounds: FIXPOINT_ROUNDS }
+        );
+        // Partial stats are still usable: the failure instant and task table.
+        assert_eq!(err.partial.task_times.len(), 1);
+        assert!(err.to_string().contains("did not reach a fixpoint"));
+    }
+
+    #[test]
+    fn unknown_task_reference_is_a_typed_error() {
+        let mut policy = RogueStart { machine: cfg().machine, done: false };
+        let err = Simulator::new(cfg())
+            .run(&mut policy, &[(seq_task(0, 5.0, 40.0), 0.0)])
+            .expect_err("unknown task must surface");
+        assert_eq!(err.source, SchedError::UnknownTask { task: TaskId(999) });
+    }
+
+    #[test]
+    fn double_start_is_a_typed_error() {
+        let mut policy = DoubleStart { machine: cfg().machine, done: false };
+        let err = Simulator::new(cfg())
+            .run(&mut policy, &[(seq_task(0, 5.0, 40.0), 0.0)])
+            .expect_err("double start must surface");
+        assert_eq!(err.source, SchedError::AlreadyRunning { task: TaskId(0) });
+    }
+
+    #[test]
+    fn wedged_policy_is_a_typed_error() {
+        /// Never starts anything at all.
+        struct DoNothing(MachineConfig);
+        impl SchedulePolicy for DoNothing {
+            fn name(&self) -> &'static str {
+                "DO-NOTHING"
+            }
+            fn machine(&self) -> &MachineConfig {
+                &self.0
+            }
+            fn on_arrival(&mut self, _now: f64, _task: TaskProfile) {}
+            fn on_finish(&mut self, _now: f64, _id: TaskId) {}
+            fn decide(&mut self, _now: f64, _running: &[RunningTask]) -> Vec<Action> {
+                vec![]
+            }
+        }
+        let mut policy = DoNothing(cfg().machine);
+        let err = Simulator::new(cfg())
+            .run(&mut policy, &[(seq_task(0, 5.0, 40.0), 0.0)])
+            .expect_err("wedge must surface");
+        assert_eq!(err.source, SchedError::Wedged { policy: "DO-NOTHING", unfinished: 1 });
+    }
+
+    #[test]
+    fn traced_des_run_replays_through_the_recorded_policy() {
+        use std::sync::{Arc, Mutex};
+        use xprs_scheduler::trace::{action_stream, parse_jsonl, replay_decisions, JsonlSink};
+
+        let tasks = vec![
+            (seq_task(0, 20.0, 65.0), 0.0),
+            (seq_task(1, 20.0, 6.0), 0.0),
+        ];
+        let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())));
+        let shared: xprs_scheduler::trace::SharedSink = sink.clone();
+        let mut adj = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(cfg().machine));
+        Simulator::new(cfg())
+            .with_trace(shared)
+            .run(&mut adj, &tasks)
+            .expect("sim");
+
+        // The simulator temporary was dropped, so this is the sole owner.
+        let Ok(cell) = Arc::try_unwrap(sink) else { unreachable!("sink still shared") };
+        let owned = cell.into_inner().unwrap();
+        assert!(owned.io_error().is_none());
+        let text = String::from_utf8(owned.into_inner()).unwrap();
+        let records = parse_jsonl(&text).expect("well-formed trace");
+        let recorded = action_stream(&records);
+        assert!(!recorded.is_empty(), "DES trace should record applied actions");
+
+        // A fresh policy fed the recorded event stream re-derives every
+        // recorded decision, even though the DES clock is not virtual time.
+        let mut fresh = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(cfg().machine));
+        let checked = replay_decisions(&records, &mut fresh).expect("replay");
+        assert!(checked > 0);
     }
 }

@@ -25,6 +25,6 @@ pub mod event;
 pub mod metrics;
 pub mod task;
 
-pub use engine::{SimConfig, Simulator};
+pub use engine::{SimConfig, SimError, Simulator};
 pub use metrics::SimReport;
 pub use task::{AccessPattern, SimTask};

@@ -37,7 +37,7 @@ fn main() {
 
     println!("six selection queries (3 IO-bound, 3 CPU-bound), 400× throttle\n");
     for policy in [PolicyKind::IntraOnly, PolicyKind::InterWithAdj] {
-        let report = sys.execute(&runs, policy, Some(400.0));
+        let report = sys.execute(&runs, policy, Some(400.0)).expect("exec");
         println!("{}:", policy.label());
         let mut times = report.fragment_times.clone();
         times.sort_by(|a, b| a.1.total_cmp(&b.1));

@@ -70,12 +70,12 @@ fn main() {
 
     // Execute the baseline and the parcost plan for real; answers must match.
     let bindings = sys.bindings(&query);
-    let r_base = sys.execute(
-        &[(plans[0].clone(), bindings.clone())],
-        PolicyKind::InterWithAdj,
-        None,
-    );
-    let r_par = sys.execute(&[(plans[2].clone(), bindings)], PolicyKind::InterWithAdj, None);
+    let r_base = sys
+        .execute(&[(plans[0].clone(), bindings.clone())], PolicyKind::InterWithAdj, None)
+        .expect("exec");
+    let r_par = sys
+        .execute(&[(plans[2].clone(), bindings)], PolicyKind::InterWithAdj, None)
+        .expect("exec");
     let a = &r_base.results[0].rows.rows;
     let b = &r_par.results[0].rows.rows;
     println!(

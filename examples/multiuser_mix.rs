@@ -34,7 +34,7 @@ fn main() {
     println!("Turnaround on the discrete-event machine (8 CPUs, 4 disks):");
     let mut baseline = None;
     for policy in PolicyKind::all() {
-        let report = sys.simulate(&profiles, policy);
+        let report = sys.simulate(&profiles, policy).expect("sim");
         let vs = match baseline {
             None => {
                 baseline = Some(report.elapsed);
@@ -55,7 +55,7 @@ fn main() {
     // together and at what degrees of parallelism.
     println!();
     println!("Schedule produced by INTER-W/-ADJ (fluid replay, first 12 segments):");
-    let fluid = sys.estimate(&profiles, PolicyKind::InterWithAdj);
+    let fluid = sys.estimate(&profiles, PolicyKind::InterWithAdj).expect("fluid");
     for seg in fluid.trace.segments.iter().take(12) {
         let running: Vec<String> = seg
             .running

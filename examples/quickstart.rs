@@ -51,7 +51,7 @@ fn main() {
 
     // Execute with the paper's scheduler on real worker threads.
     let bindings = sys.bindings(&query);
-    let report = sys.execute(&[(optimized, bindings)], PolicyKind::InterWithAdj, None);
+    let report = sys.execute(&[(optimized, bindings)], PolicyKind::InterWithAdj, None).expect("exec");
     let rows = &report.results[0].rows;
     println!(
         "executed: {} matching rows in {:.3} s wall; {} page reads \

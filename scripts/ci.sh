@@ -17,6 +17,14 @@ cargo build --release --offline
 echo "==> cargo test (workspace)"
 cargo test -q --workspace --offline
 
+echo "==> cargo test --release (workspace)"
+# Release mode strips debug_asserts; this leg catches control-path failures
+# that only debug assertions used to mask (e.g. inverted clamps).
+cargo test -q --release --workspace --offline
+
+echo "==> cargo test --doc"
+cargo test -q --doc --workspace --offline
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

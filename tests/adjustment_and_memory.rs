@@ -24,7 +24,7 @@ fn fluid_trace_shows_the_survivor_expanding() {
     let mut cfg = AdaptiveConfig::with_adjustment(m());
     cfg.integral = false;
     let mut p = AdaptiveScheduler::new(cfg);
-    let res = FluidSim::new(m()).run(&mut p, &tasks);
+    let res = FluidSim::new(m()).run(&mut p, &tasks).expect("fluid");
     // Find task 0's parallelism over time.
     let xs: Vec<f64> = res
         .trace
@@ -49,8 +49,8 @@ fn fluid_trace_shows_the_survivor_expanding() {
 fn des_adjustment_speeds_up_the_tail() {
     let sys = XprsSystem::paper_default();
     let tasks = vec![seq(0, 40.0, 60.0), seq(1, 10.0, 8.0)];
-    let adj = sys.simulate(&tasks, PolicyKind::InterWithAdj).elapsed;
-    let noadj = sys.simulate(&tasks, PolicyKind::InterWithoutAdj).elapsed;
+    let adj = sys.simulate(&tasks, PolicyKind::InterWithAdj).expect("sim").elapsed;
+    let noadj = sys.simulate(&tasks, PolicyKind::InterWithoutAdj).expect("sim").elapsed;
     assert!(
         adj < noadj * 0.95,
         "adjustment should shorten the survivor's tail: {adj} vs {noadj}"
@@ -77,13 +77,13 @@ fn memory_budget_degrades_to_intra_only() {
     let sim_narrow = FluidSim::new(narrow.clone());
 
     let mut p_wide = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(wide.clone()));
-    let t_wide = sim_wide.run(&mut p_wide, &tasks).elapsed;
+    let t_wide = sim_wide.run(&mut p_wide, &tasks).expect("fluid").elapsed;
 
     let mut p_narrow = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(narrow.clone()));
-    let t_narrow = sim_narrow.run(&mut p_narrow, &tasks).elapsed;
+    let t_narrow = sim_narrow.run(&mut p_narrow, &tasks).expect("fluid").elapsed;
 
     let mut intra = IntraOnly::new(narrow.clone(), true);
-    let t_intra = sim_narrow.run(&mut intra, &tasks).elapsed;
+    let t_intra = sim_narrow.run(&mut intra, &tasks).expect("fluid").elapsed;
 
     assert!(t_wide < t_narrow, "memory pressure must cost something: {t_wide} vs {t_narrow}");
     assert!(
@@ -105,7 +105,7 @@ fn scheduler_substitutes_fitting_partners_under_pressure() {
         seq(2, 20.0, 12.0).with_memory(5.0 * mb),  // second-best, fits
     ];
     let mut p = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(machine.clone()));
-    let res = FluidSim::new(machine).run(&mut p, &tasks);
+    let res = FluidSim::new(machine).run(&mut p, &tasks).expect("fluid");
     // In the very first segment the IO task must be paired with task 2.
     let first = &res.trace.segments[0];
     let ids: Vec<u64> = first.running.iter().map(|(id, _, _)| id.0).collect();

@@ -112,3 +112,58 @@ proptest! {
         prop_assert!(tn <= serial * (1.0 + 1e-6) + 1e-9, "loses to intra-only: {tn} > {serial}");
     }
 }
+
+proptest! {
+    /// Sweep degenerate 1- and 2-processor machines: every balance point the
+    /// solver produces still satisfies the paper's invariants
+    /// (`x_io + x_cpu = N`, effective bandwidth inside `[B_r, B_s]`), the
+    /// uniprocessor integral split declines cleanly instead of panicking
+    /// (the seed's `clamp(1.0, 0.0)` inversion), and the fluid model runs
+    /// every task set to completion under all three policies.
+    #[test]
+    fn tiny_machine_sweep(
+        n_procs in 1u32..=2,
+        c_io in 1.0f64..400.0,
+        c_cpu in 1.0f64..400.0,
+        t in 0.5f64..20.0,
+    ) {
+        use xprs_scheduler::balance::integral_split;
+        use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
+        use xprs_scheduler::intra::IntraOnly;
+        use xprs_scheduler::fluid::FluidSim;
+        use xprs_scheduler::SchedulePolicy;
+
+        let mut m = machine();
+        m.n_procs = n_procs;
+        let n = n_procs as f64;
+        let io = TaskProfile::new(TaskId(0), t, c_io, IoKind::Sequential);
+        let cpu = TaskProfile::new(TaskId(1), t, c_cpu, IoKind::Sequential);
+
+        if let Some(bp) = balance_point(&io, &cpu, &m) {
+            prop_assert!((bp.x_io + bp.x_cpu - n).abs() < 1e-6,
+                "processors not conserved: {} + {} != {n}", bp.x_io, bp.x_cpu);
+            prop_assert!(bp.x_io > 0.0 && bp.x_cpu > 0.0);
+            prop_assert!(bp.effective_bw >= m.total_random_bandwidth() - 1e-9);
+            prop_assert!(bp.effective_bw <= m.total_bandwidth() + 1e-9);
+            match integral_split(&bp, &m) {
+                None => prop_assert!(n_procs < 2, "split refused on a splittable machine"),
+                Some((xi, xc)) => {
+                    prop_assert!(xi >= 1 && xc >= 1);
+                    prop_assert_eq!(xi + xc, n_procs);
+                }
+            }
+        }
+
+        let tasks = vec![io, cpu];
+        let policies: Vec<Box<dyn SchedulePolicy>> = vec![
+            Box::new(IntraOnly::new(m.clone(), true)),
+            Box::new(AdaptiveScheduler::new(AdaptiveConfig::without_adjustment(m.clone()))),
+            Box::new(AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m.clone()))),
+        ];
+        for mut p in policies {
+            let r = FluidSim::new(m.clone()).run(p.as_mut(), &tasks);
+            let r = r.expect("tiny machine run must complete without a control-path error");
+            prop_assert!(r.elapsed.is_finite() && r.elapsed > 0.0);
+        }
+    }
+}

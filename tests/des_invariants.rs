@@ -34,7 +34,7 @@ proptest! {
     fn conservation_laws_hold(tasks in task_set(), policy_idx in 0usize..3) {
         let sys = XprsSystem::paper_default();
         let policy = PolicyKind::all()[policy_idx];
-        let report = sys.simulate(&tasks, policy);
+        let report = sys.simulate(&tasks, policy).expect("sim");
         let m = sys.machine();
 
         prop_assert!(report.elapsed > 0.0);
@@ -66,8 +66,8 @@ proptest! {
     #[test]
     fn with_adj_never_loses_materially(tasks in task_set()) {
         let sys = XprsSystem::paper_default();
-        let intra = sys.simulate(&tasks, PolicyKind::IntraOnly).elapsed;
-        let adj = sys.simulate(&tasks, PolicyKind::InterWithAdj).elapsed;
+        let intra = sys.simulate(&tasks, PolicyKind::IntraOnly).expect("sim").elapsed;
+        let adj = sys.simulate(&tasks, PolicyKind::InterWithAdj).expect("sim").elapsed;
         prop_assert!(
             adj <= intra * 1.08 + 0.1,
             "WITH-ADJ {adj} lost to INTRA-ONLY {intra}"
@@ -79,8 +79,8 @@ proptest! {
     fn simulation_is_deterministic(tasks in task_set(), policy_idx in 0usize..3) {
         let sys = XprsSystem::paper_default();
         let policy = PolicyKind::all()[policy_idx];
-        let a = sys.simulate(&tasks, policy);
-        let b = sys.simulate(&tasks, policy);
+        let a = sys.simulate(&tasks, policy).expect("sim");
+        let b = sys.simulate(&tasks, policy).expect("sim");
         prop_assert_eq!(a.elapsed, b.elapsed);
         prop_assert_eq!(a.n_events, b.n_events);
         prop_assert_eq!(a.disk.total(), b.disk.total());
@@ -93,8 +93,8 @@ proptest! {
     #[test]
     fn fluid_and_des_are_banded(tasks in task_set()) {
         let sys = XprsSystem::paper_default();
-        let fluid = sys.estimate(&tasks, PolicyKind::InterWithAdj).elapsed;
-        let des = sys.simulate(&tasks, PolicyKind::InterWithAdj).elapsed;
+        let fluid = sys.estimate(&tasks, PolicyKind::InterWithAdj).expect("fluid").elapsed;
+        let des = sys.simulate(&tasks, PolicyKind::InterWithAdj).expect("sim").elapsed;
         prop_assert!(des >= fluid * 0.85, "DES {des} implausibly beat the fluid bound {fluid}");
         prop_assert!(des <= fluid * 2.0 + 0.5, "DES {des} wildly exceeds the fluid estimate {fluid}");
     }

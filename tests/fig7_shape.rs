@@ -19,9 +19,9 @@ fn mean_elapsed(
                 .generate(&WorkloadConfig::paper(kind, s))
                 .profiles();
             if des {
-                sys.simulate(&tasks, policy).elapsed
+                sys.simulate(&tasks, policy).expect("sim").elapsed
             } else {
-                sys.estimate(&tasks, policy).elapsed
+                sys.estimate(&tasks, policy).expect("fluid").elapsed
             }
         })
         .sum();

@@ -71,7 +71,7 @@ fn every_strategy_computes_the_same_answer() {
     ] {
         sys.optimizer_mut().shape = shape;
         let o = sys.optimize(&q, costing);
-        let report = sys.execute(&[(o, bindings.clone())], PolicyKind::InterWithAdj, None);
+        let report = sys.execute(&[(o, bindings.clone())], PolicyKind::InterWithAdj, None).expect("exec");
         let keys: Vec<i32> = report.results[0].rows.rows.iter().map(|(k, _)| *k).collect();
         match &reference {
             None => reference = Some(keys),
@@ -121,7 +121,7 @@ fn multi_query_mixed_workload_executes_under_all_policies() {
         .collect();
     let mut counts: Option<Vec<usize>> = None;
     for policy in PolicyKind::all() {
-        let report = sys.execute(&runs, policy, None);
+        let report = sys.execute(&runs, policy, None).expect("exec");
         let got: Vec<usize> = report.results.iter().map(|r| r.rows.rows.len()).collect();
         match &counts {
             None => counts = Some(got),
