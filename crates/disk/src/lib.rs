@@ -22,9 +22,11 @@
 //! random bandwidth — *emerges* in both engines rather than being assumed.
 
 pub mod array;
+pub mod fault;
 pub mod model;
 pub mod stripe;
 
 pub use array::{ArrayStats, DiskArrayModel};
+pub use fault::{FaultDomain, FaultPlan, FaultStats, WorkerFaultKind};
 pub use model::{DiskParams, DiskState, IoRequest, RelId, ServiceClass, WorkerId};
 pub use stripe::StripedLayout;

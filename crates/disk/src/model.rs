@@ -195,8 +195,17 @@ impl DiskState {
     /// Serve a request: classify it, account the busy time, update the head
     /// position, and return the class and service duration in seconds.
     pub fn serve(&mut self, req: &IoRequest) -> (ServiceClass, f64) {
+        self.serve_degraded(req, 1.0)
+    }
+
+    /// [`DiskState::serve`] on a degraded disk: the modeled service time is
+    /// stretched by `multiplier` (≥ 1), and the stretched time is what the
+    /// busy accounting records — so observed per-class rates derived from
+    /// `busy_time_of` / `count_of` reflect the slowdown, which is exactly
+    /// what degradation-aware recalibration needs to see.
+    pub fn serve_degraded(&mut self, req: &IoRequest, multiplier: f64) -> (ServiceClass, f64) {
         let class = self.classify(req);
-        let dur = self.params.service_time(class);
+        let dur = self.params.service_time(class) * multiplier;
         let idx = class_index(class);
         self.busy[idx] += dur;
         self.counts[idx] += 1;
@@ -399,6 +408,19 @@ mod tests {
         assert_eq!(d.total_count(), 3);
         let expect = 1.0 / 35.0 + 1.0 / 97.0 + 1.0 / 60.0;
         assert!((d.busy_time() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_service_charges_the_stretched_time() {
+        let mut d = disk();
+        d.serve(&req(1, 0, 0)); // cold seek at nominal speed
+        let (c, dur) = d.serve_degraded(&req(1, 1, 0), 3.0);
+        assert_eq!(c, ServiceClass::Sequential);
+        assert!((dur - 3.0 / 97.0).abs() < 1e-12);
+        // Busy accounting carries the stretched time: observed rate drops.
+        let expect = 1.0 / 35.0 + 3.0 / 97.0;
+        assert!((d.busy_time() - expect).abs() < 1e-12);
+        assert_eq!(d.count_of(ServiceClass::Sequential), 1);
     }
 
     #[test]

@@ -21,10 +21,10 @@
 //! reproduces the seed's global-latch behaviour bit-for-bit.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
-use xprs_disk::{ArrayStats, DiskParams, DiskState, IoRequest, RelId, ServiceClass, StripedLayout, WorkerId};
+use xprs_disk::{ArrayStats, DiskParams, DiskState, FaultPlan, IoRequest, RelId, ServiceClass, StripedLayout, WorkerId};
 use xprs_scheduler::MachineConfig;
 use xprs_storage::bufpool::FetchOutcome;
 use xprs_storage::{PoolStats, ShardedBufferPool};
@@ -87,6 +87,35 @@ impl Drop for CpuPermit<'_> {
     }
 }
 
+/// Attempts a read is given before an unrecoverable [`IoFault`] is raised:
+/// the initial issue plus two retries.
+pub const READ_ATTEMPTS: u32 = 3;
+
+/// Simulated seconds of backoff before the first retry; doubles per retry.
+const RETRY_BACKOFF: f64 = 0.002;
+
+/// An unrecoverable I/O fault: a disk read kept failing after every
+/// bounded retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFault {
+    /// Relation whose page could not be read.
+    pub rel: RelId,
+    /// Global block number of the failing page.
+    pub block: u64,
+    /// Attempts made (including the initial issue).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for IoFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "read of {:?} block {} failed after {} attempts",
+            self.rel, self.block, self.attempts
+        )
+    }
+}
+
 /// Aggregate I/O statistics snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MachineStats {
@@ -109,6 +138,8 @@ pub struct Machine {
     pool: Option<ShardedBufferPool>,
     /// Wall-clock seconds per simulated second (0 disables sleeping).
     scale: f64,
+    /// Injected fault schedule (`None` in fault-free operation).
+    faults: Option<Arc<FaultPlan>>,
     reads: AtomicU64,
     worker_ids: AtomicU64,
 }
@@ -144,9 +175,23 @@ impl Machine {
             cpu: CpuGate::new(cfg.n_procs),
             pool: (pool_pages > 0).then(|| ShardedBufferPool::new(pool_pages, shards)),
             scale,
+            faults: None,
             reads: AtomicU64::new(0),
             worker_ids: AtomicU64::new(0),
         }
+    }
+
+    /// Attach an injected fault schedule: transient read errors, sustained
+    /// per-disk slowdowns and worker faults then fire at their scheduled
+    /// logical offsets.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The attached fault schedule, if any.
+    pub(crate) fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 
     /// The striping layout.
@@ -173,6 +218,10 @@ impl Machine {
     /// for the disk and charge the classified service time (sleeping
     /// `scale ×` it). Returns the service class of the disk read, or `None`
     /// on a buffer hit. The caller then accesses the in-memory page image.
+    ///
+    /// # Panics
+    /// Panics on an unrecoverable injected read error; fault-tolerant
+    /// callers use [`Machine::try_read`].
     pub fn read(
         &self,
         rel: RelId,
@@ -180,11 +229,28 @@ impl Machine {
         worker: WorkerId,
         solo: bool,
     ) -> Option<ServiceClass> {
+        self.try_read(rel, global_block, worker, solo)
+            .unwrap_or_else(|f| panic!("unhandled I/O fault: {f}"))
+    }
+
+    /// Fault-tolerant read: like [`Machine::read`], but an injected
+    /// transient read error is retried up to [`READ_ATTEMPTS`] times with
+    /// doubling (scaled) backoff before escalating to an [`IoFault`]. Every
+    /// attempt occupies the disk for its full classified service time —
+    /// a fault costs I/O, it does not refund it. With no fault plan
+    /// attached this never errors.
+    pub fn try_read(
+        &self,
+        rel: RelId,
+        global_block: u64,
+        worker: WorkerId,
+        solo: bool,
+    ) -> Result<Option<ServiceClass>, IoFault> {
         self.reads.fetch_add(1, Ordering::Relaxed);
         let mut pinned_miss = false;
         if let Some(pool) = &self.pool {
             match pool.access(rel, global_block) {
-                Ok(FetchOutcome::Hit) => return None,
+                Ok(FetchOutcome::Hit) => return Ok(None),
                 Ok(FetchOutcome::Miss) => pinned_miss = true,
                 Err(_) => {
                     // Shard exhausted by concurrent pins: bypass the pool.
@@ -198,22 +264,45 @@ impl Machine {
             worker,
             solo,
         };
-        let class = {
-            let mut d = lock(&self.disks[disk]);
-            let (class, dur) = d.serve(&req);
-            if self.scale > 0.0 {
-                // Sleeping while holding the lock serializes the disk — that
-                // is the model, not a bug.
-                std::thread::sleep(Duration::from_secs_f64(dur * self.scale));
+        let mut outcome = Err(IoFault { rel, block: global_block, attempts: READ_ATTEMPTS });
+        for attempt in 0..READ_ATTEMPTS {
+            let class = {
+                let mut d = lock(&self.disks[disk]);
+                // Sustained degradation is keyed to the disk's own request
+                // ordinal, so it fires identically across interleavings.
+                let mult = self
+                    .faults
+                    .as_ref()
+                    .map_or(1.0, |f| f.slowdown_multiplier(disk, d.total_count()));
+                let (class, dur) = d.serve_degraded(&req, mult);
+                if self.scale > 0.0 {
+                    // Sleeping while holding the lock serializes the disk —
+                    // that is the model, not a bug.
+                    std::thread::sleep(Duration::from_secs_f64(dur * self.scale));
+                }
+                class
+            };
+            let faulted =
+                self.faults.as_ref().is_some_and(|f| f.take_read_error(rel, global_block));
+            if !faulted {
+                outcome = Ok(Some(class));
+                break;
             }
-            class
-        };
+            if self.scale > 0.0 && attempt + 1 < READ_ATTEMPTS {
+                let backoff = RETRY_BACKOFF * f64::from(1u32 << attempt);
+                std::thread::sleep(Duration::from_secs_f64(backoff * self.scale));
+            }
+        }
         if pinned_miss {
             if let Some(pool) = &self.pool {
+                // Also on the fault path: the frame holds no data in this
+                // model, but the *pin* must always be returned — leaking one
+                // per failed read starves the shard into PoolExhausted
+                // livelock under a retry storm.
                 pool.finish_read(rel, global_block);
             }
         }
-        Some(class)
+        outcome
     }
 
     /// Burn `seconds` of simulated CPU while holding a processor permit.
@@ -245,6 +334,25 @@ impl Machine {
     pub fn pool_shard_stats(&self) -> Vec<PoolStats> {
         self.pool.as_ref().map(|p| p.shard_stats()).unwrap_or_default()
     }
+
+    /// Per-class `(requests, busy seconds)` served so far across all disks,
+    /// indexed `[Sequential, AlmostSequential, Random]`. Busy time includes
+    /// any degradation stretch, so `requests / busy` is the *observed*
+    /// service rate — the master's patrol diffs successive snapshots to
+    /// detect drift from the modeled rate and recalibrate the policy.
+    pub fn observed_service(&self) -> [(u64, f64); 3] {
+        let classes =
+            [ServiceClass::Sequential, ServiceClass::AlmostSequential, ServiceClass::Random];
+        let mut out = [(0u64, 0.0f64); 3];
+        for d in &self.disks {
+            let d = lock(d);
+            for (slot, class) in classes.into_iter().enumerate() {
+                out[slot].0 += d.count_of(class);
+                out[slot].1 += d.busy_time_of(class);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +383,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join().unwrap();
+            crate::master::join_worker(h, 0).expect("gate worker must not panic");
         }
         assert!(peak.load(Ordering::SeqCst) <= 2, "gate leaked permits");
     }
@@ -313,7 +421,7 @@ mod tests {
             }));
         }
         for h in handles {
-            h.join().unwrap();
+            crate::master::join_worker(h, 0).expect("reader thread must not panic");
         }
         assert_eq!(m.stats().reads, 1000);
         assert_eq!(m.stats().disk.total(), 1000);
@@ -383,6 +491,72 @@ mod tests {
             }
         }
         assert_eq!(m.stats().pool.hits, 0);
+    }
+
+    #[test]
+    fn transient_fault_is_absorbed_by_retries() {
+        let plan = Arc::new(FaultPlan::new().with_read_error(RelId(1), 5, READ_ATTEMPTS - 1));
+        let m = machine(0.0).with_faults(plan.clone());
+        let w = m.new_worker_id();
+        assert!(m.try_read(RelId(1), 5, w, true).is_ok(), "retries must absorb the fault");
+        assert_eq!(plan.stats().read_errors_fired(), u64::from(READ_ATTEMPTS - 1));
+        // Every attempt burned a disk service: 2 failures + 1 success.
+        assert_eq!(m.stats().disk.total(), u64::from(READ_ATTEMPTS));
+    }
+
+    #[test]
+    fn exhausted_retries_escalate_to_a_typed_fault() {
+        let plan = Arc::new(FaultPlan::new().with_read_error(RelId(1), 9, READ_ATTEMPTS));
+        let m = machine(0.0).with_faults(plan);
+        let w = m.new_worker_id();
+        let err = m.try_read(RelId(1), 9, w, true).expect_err("must escalate");
+        assert_eq!(err, IoFault { rel: RelId(1), block: 9, attempts: READ_ATTEMPTS });
+        assert!(err.to_string().contains("block 9"));
+    }
+
+    #[test]
+    fn faulted_reads_release_their_buffer_pins() {
+        // A tiny pool plus a storm of unrecoverable faults: if the fault
+        // path leaked its miss pin, the shard would exhaust and every later
+        // read would bypass the pool forever (misses stop counting).
+        let cfg = MachineConfig::paper_default();
+        let mut plan = FaultPlan::new();
+        for b in 0..64u64 {
+            plan = plan.with_read_error(RelId(1), b, READ_ATTEMPTS);
+        }
+        let m = Machine::with_pool(&cfg, 0.0, 4).with_faults(Arc::new(plan));
+        let w = m.new_worker_id();
+        for b in 0..64u64 {
+            assert!(m.try_read(RelId(1), b, w, true).is_err());
+        }
+        // All pins returned: a fresh fault-free block still lands in the
+        // pool as a genuine miss rather than a bypass.
+        assert!(m.try_read(RelId(1), 100, w, true).is_ok());
+        assert_eq!(m.stats().pool.misses, 65, "fault path must keep using the pool");
+    }
+
+    #[test]
+    fn slowdown_stretches_observed_service() {
+        let plan = Arc::new(FaultPlan::new().with_slowdown(0, 0, 4.0));
+        let m = machine(0.0).with_faults(plan.clone());
+        let w = m.new_worker_id();
+        // Blocks 0,4,8,... live on disk 0 under 4-way striping.
+        for b in (0..40u64).step_by(4) {
+            m.read(RelId(1), b, w, true);
+        }
+        let healthy = machine(0.0);
+        let w2 = healthy.new_worker_id();
+        for b in (0..40u64).step_by(4) {
+            healthy.read(RelId(1), b, w2, true);
+        }
+        let busy = |m: &Machine| m.observed_service().iter().map(|(_, b)| b).sum::<f64>();
+        assert!(
+            busy(&m) > 3.9 * busy(&healthy),
+            "degraded busy {} vs healthy {}",
+            busy(&m),
+            busy(&healthy)
+        );
+        assert_eq!(plan.stats().slow_requests(), 10);
     }
 
     #[test]

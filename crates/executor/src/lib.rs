@@ -34,8 +34,10 @@ pub mod pool;
 pub mod program;
 pub mod worker;
 
-pub use io::{CpuGate, Machine, MachineStats};
-pub use master::{DataPath, ExecConfig, ExecError, ExecReport, Executor, QueryResult, QueryRun};
+pub use io::{CpuGate, IoFault, Machine, MachineStats, READ_ATTEMPTS};
+pub use master::{
+    join_worker, DataPath, ExecConfig, ExecError, ExecReport, Executor, QueryResult, QueryRun,
+};
 pub use pool::WorkerPool;
 pub use program::{compile, FragmentProgram, Materialized, PipelineOp, ProgramSet};
 pub use worker::RelBinding;

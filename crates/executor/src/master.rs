@@ -10,12 +10,13 @@
 //! push that unparks a long-lived pool thread — no OS thread is spawned or
 //! joined per slot.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use xprs_disk::FaultPlan;
 use xprs_optimizer::OptimizedQuery;
 use xprs_scheduler::error::SchedError;
 use xprs_scheduler::fluid::FIXPOINT_ROUNDS;
@@ -25,7 +26,7 @@ use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
 use xprs_storage::partition::{PagePartition, RangePartition};
 use xprs_storage::Catalog;
 
-use crate::io::{lock, Machine, MachineStats};
+use crate::io::{lock, IoFault, Machine, MachineStats};
 use crate::pool::WorkerPool;
 use crate::program::{compile, Driver, Materialized};
 use crate::worker::{run_worker, FragCtx, OutputSink, PartitionState, RelBinding};
@@ -71,6 +72,22 @@ pub struct ExecConfig {
     pub cpu_batch_seconds: f64,
     /// Which data path to run.
     pub data_path: DataPath,
+    /// Injected fault schedule (`None` = fault-free operation).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Heartbeat-patrol interval in wall milliseconds. `0` disables the
+    /// patrol — and with it dead-worker recovery and recalibration.
+    pub patrol_ms: u64,
+    /// Patrol ticks a slot's heartbeat may stay frozen (while the fragment
+    /// still has work and the slot never exited) before it is declared dead
+    /// and its partition share reclaimed.
+    pub patrol_grace: u32,
+    /// Relative drift between observed and modeled I/O service rate
+    /// tolerated before the policy is recalibrated. `0.0` disables
+    /// recalibration.
+    pub recal_band: f64,
+    /// I/O requests that must land in a patrol window before its rate
+    /// estimate is trusted for recalibration.
+    pub recal_min_requests: u64,
 }
 
 impl ExecConfig {
@@ -86,6 +103,11 @@ impl ExecConfig {
             out_batch_tuples: 256,
             cpu_batch_seconds: 0.01,
             data_path: DataPath::Decontended,
+            faults: None,
+            patrol_ms: 0,
+            patrol_grace: 3,
+            recal_band: 0.2,
+            recal_min_requests: 64,
         }
     }
 
@@ -98,6 +120,29 @@ impl ExecConfig {
     /// This configuration switched to the seed's global-lock data path.
     pub fn with_data_path(mut self, path: DataPath) -> Self {
         self.data_path = path;
+        self
+    }
+
+    /// Attach an injected fault schedule, enabling the heartbeat patrol
+    /// (at a 5 ms interval unless one is already configured) so dead
+    /// workers are actually recovered.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        if self.patrol_ms == 0 {
+            self.patrol_ms = 5;
+        }
+        self
+    }
+
+    /// Enable degradation-aware recalibration with tolerance `band`
+    /// (e.g. `0.2` = recalibrate when the observed I/O rate drifts more
+    /// than 20% from the model), turning the patrol on if it is off.
+    pub fn with_recalibration(mut self, band: f64) -> Self {
+        assert!(band > 0.0 && band.is_finite(), "invalid recalibration band {band}");
+        self.recal_band = band;
+        if self.patrol_ms == 0 {
+            self.patrol_ms = 5;
+        }
         self
     }
 
@@ -158,6 +203,33 @@ pub enum ExecError {
         /// The missing relation's name.
         name: String,
     },
+    /// A disk read failed unrecoverably (every bounded retry exhausted);
+    /// the run was drained and abandoned.
+    IoFault {
+        /// Global fragment index whose worker hit the fault.
+        fragment: usize,
+        /// The underlying fault.
+        fault: IoFault,
+    },
+    /// A query's fragment table holds no root fragment (a compiler
+    /// invariant violation surfaced as a typed error, not a panic).
+    RootMissing {
+        /// Query index in the submitted batch.
+        query: usize,
+    },
+    /// A query's root fragment completed without materializing output.
+    OutputMissing {
+        /// Query index in the submitted batch.
+        query: usize,
+    },
+    /// A fragment was started before one of its producers materialized —
+    /// the readiness protocol was violated.
+    ProducerNotMaterialized {
+        /// The consumer fragment being started.
+        fragment: usize,
+        /// The producer whose output is missing.
+        producer: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -174,6 +246,21 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::UnknownRelation { fragment, name } => {
                 write!(f, "fragment {fragment} references unknown relation {name:?}")
+            }
+            ExecError::IoFault { fragment, fault } => {
+                write!(f, "fragment {fragment}: {fault}")
+            }
+            ExecError::RootMissing { query } => {
+                write!(f, "query {query} has no root fragment")
+            }
+            ExecError::OutputMissing { query } => {
+                write!(f, "query {query}'s root fragment finished without output")
+            }
+            ExecError::ProducerNotMaterialized { fragment, producer } => {
+                write!(
+                    f,
+                    "fragment {fragment} started before producer {producer} materialized"
+                )
             }
         }
     }
@@ -193,6 +280,7 @@ impl std::error::Error for ExecError {
 enum ControlFail {
     Sched(SchedError),
     Relation { fragment: usize, name: String },
+    Producer { fragment: usize, producer: usize },
 }
 
 impl From<SchedError> for ControlFail {
@@ -207,6 +295,9 @@ impl ControlFail {
             ControlFail::Sched(source) => ExecError::Sched { source, completed, total },
             ControlFail::Relation { fragment, name } => {
                 ExecError::UnknownRelation { fragment, name }
+            }
+            ControlFail::Producer { fragment, producer } => {
+                ExecError::ProducerNotMaterialized { fragment, producer }
             }
         }
     }
@@ -223,6 +314,13 @@ pub(crate) enum MasterMsg {
         gid: usize,
         /// Rendered panic payload.
         message: String,
+    },
+    /// A worker's read failed after every bounded retry.
+    IoFault {
+        /// Global fragment index.
+        gid: usize,
+        /// The underlying fault.
+        fault: IoFault,
     },
 }
 
@@ -263,6 +361,11 @@ pub struct ExecReport {
     pub pool_threads: u64,
     /// Worker-slot staffing jobs submitted over the whole run.
     pub pool_jobs: u64,
+    /// Worker slots declared dead by the heartbeat patrol and replaced.
+    pub worker_recoveries: u64,
+    /// Times the observed I/O rate drifted outside the tolerance band and
+    /// the policy was re-entered with a corrected machine model.
+    pub recalibrations: u64,
 }
 
 enum FragStatus {
@@ -325,12 +428,16 @@ impl Executor {
         queries: &[QueryRun],
         policy: &mut dyn SchedulePolicy,
     ) -> Result<ExecReport, ExecError> {
-        let machine = Arc::new(Machine::with_sharded_pool(
+        let mut machine = Machine::with_sharded_pool(
             &self.cfg.machine,
             self.cfg.scale,
             self.cfg.bufpool_pages,
             self.cfg.effective_shards(),
-        ));
+        );
+        if let Some(plan) = &self.cfg.faults {
+            machine = machine.with_faults(plan.clone());
+        }
+        let machine = Arc::new(machine);
         let pool = WorkerPool::new(match self.cfg.data_path {
             DataPath::Decontended => self.cfg.machine.n_procs as usize,
             DataPath::GlobalLock => 0, // seed path never touches the pool
@@ -409,12 +516,39 @@ impl Executor {
             return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
         }
 
+        let mut patrol = Patrol::new(&self.cfg, machine.observed_service());
+
         while done_count < frags.len() {
-            let gid = match rx.recv() {
-                Ok(MasterMsg::FragmentDone(gid)) => gid,
-                Ok(MasterMsg::WorkerPanicked { gid, message }) => {
-                    drain(&frags, &backends);
-                    return Err(ExecError::WorkerPanicked { fragment: gid, message });
+            let msg = match next_msg(&rx, self.cfg.patrol_ms) {
+                Ok(Some(msg)) => msg,
+                Ok(None) => {
+                    // Patrol tick: reap dead workers, then check whether the
+                    // observed I/O rate has drifted out of the model's band.
+                    patrol.reap(&frags, &backends, &machine, &self.catalog);
+                    if let Some(corrected) = patrol.recalibrate(&machine) {
+                        let t = now(t0);
+                        emit(&self.sink, || TraceRecord::Recalibrate {
+                            now: t,
+                            observed_b: corrected.total_bandwidth(),
+                            modeled_b: patrol.model.total_bandwidth(),
+                            machine: corrected.clone(),
+                        });
+                        patrol.model = corrected.clone();
+                        patrol.recalibrations += 1;
+                        policy.recalibrate(t, corrected);
+                        // The corrected rates may change the balance point:
+                        // re-enter the policy so running fragments can be
+                        // adjusted and queued work re-planned.
+                        if let Err(e) =
+                            self.decide(policy, &mut frags, &machine, &tx, &backends, t0)
+                        {
+                            return Err(fail(e, done_count, now(t0), &frags, &backends));
+                        }
+                        if let Err(e) = wedge_check(policy, &frags, done_count) {
+                            return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
+                        }
+                    }
+                    continue;
                 }
                 Err(_) => {
                     drain(&frags, &backends);
@@ -422,6 +556,17 @@ impl Executor {
                         completed: done_count,
                         total: frags.len(),
                     });
+                }
+            };
+            let gid = match msg {
+                MasterMsg::FragmentDone(gid) => gid,
+                MasterMsg::WorkerPanicked { gid, message } => {
+                    drain(&frags, &backends);
+                    return Err(ExecError::WorkerPanicked { fragment: gid, message });
+                }
+                MasterMsg::IoFault { gid, fault } => {
+                    drain(&frags, &backends);
+                    return Err(ExecError::IoFault { fragment: gid, fault });
                 }
             };
             let t_done = now(t0);
@@ -465,20 +610,15 @@ impl Executor {
         backends.shutdown();
 
         let wall = now(t0);
-        let results = queries
-            .iter()
-            .enumerate()
-            .map(|(qi, _)| {
-                let root = frags
-                    .iter()
-                    .find(|f| f.query == qi && f.is_root)
-                    .expect("every query has a root fragment");
-                QueryResult {
-                    rows: root.output.clone().expect("root finished"),
-                    finished_at: root.finished_at,
-                }
-            })
-            .collect();
+        let mut results = Vec::with_capacity(queries.len());
+        for qi in 0..queries.len() {
+            let root = frags
+                .iter()
+                .find(|f| f.query == qi && f.is_root)
+                .ok_or(ExecError::RootMissing { query: qi })?;
+            let rows = root.output.clone().ok_or(ExecError::OutputMissing { query: qi })?;
+            results.push(QueryResult { rows, finished_at: root.finished_at });
+        }
         Ok(ExecReport {
             results,
             stats: machine.stats(),
@@ -490,6 +630,8 @@ impl Executor {
                 .collect(),
             pool_threads: backends.threads_spawned(),
             pool_jobs: backends.staffed.load(Ordering::Relaxed),
+            worker_recoveries: patrol.recoveries,
+            recalibrations: patrol.recalibrations,
         })
     }
 
@@ -576,15 +718,17 @@ impl Executor {
         }
         let x = to_workers(parallelism, self.cfg.machine.n_procs);
 
-        // Materialized inputs, keyed by query-local fragment index.
-        let inputs: HashMap<usize, Arc<Materialized>> = frags[gid]
-            .local_deps
-            .iter()
-            .zip(frags[gid].deps.iter())
-            .map(|(&local, &dep)| {
-                (local, frags[dep].output.clone().expect("producer finished before consumer"))
-            })
-            .collect();
+        // Materialized inputs, keyed by query-local fragment index. A
+        // missing producer output is a readiness-protocol violation,
+        // surfaced as a typed error rather than a panic.
+        let mut inputs: HashMap<usize, Arc<Materialized>> = HashMap::new();
+        for (&local, &dep) in frags[gid].local_deps.iter().zip(frags[gid].deps.iter()) {
+            let out = frags[dep]
+                .output
+                .clone()
+                .ok_or(ControlFail::Producer { fragment: gid, producer: dep })?;
+            inputs.insert(local, out);
+        }
 
         // Partition state + work-unit count per driver.
         let missing = |name: &str| ControlFail::Relation { fragment: gid, name: name.to_string() };
@@ -626,6 +770,7 @@ impl Executor {
             inputs,
             partition: std::sync::Mutex::new(partition),
             exited_slots: std::sync::Mutex::new(Vec::new()),
+            heartbeats: std::sync::Mutex::new(Vec::new()),
             units_done: AtomicU64::new(0),
             total_units,
             outstanding: AtomicU32::new(0),
@@ -722,6 +867,16 @@ impl<'a> Backends<'a> {
     /// in a panic report, and always balances with [`FragCtx::worker_exit`].
     fn staff(&self, ctx: &Arc<FragCtx>, slot: usize, machine: &Arc<Machine>, catalog: &Arc<Catalog>) {
         self.staffed.fetch_add(1, Ordering::Relaxed);
+        // Register the slot's heartbeat before the worker can run, so the
+        // patrol tracks it from staffing time (a job stuck in the pool
+        // queue is indistinguishable from a dead worker — reclaiming it is
+        // a safe false positive).
+        {
+            let mut beats = lock(&ctx.heartbeats);
+            while beats.len() <= slot {
+                beats.push(Arc::new(AtomicU64::new(0)));
+            }
+        }
         ctx.outstanding.fetch_add(1, Ordering::SeqCst);
         let ctx = ctx.clone();
         let machine = machine.clone();
@@ -756,6 +911,160 @@ impl<'a> Backends<'a> {
             let _ = h.join();
         }
     }
+}
+
+/// Receive the next worker message. With a patrol interval configured,
+/// `Ok(None)` marks a quiet tick on which the patrol should run; without
+/// one this blocks exactly like the fault-free master always did.
+fn next_msg(rx: &Receiver<MasterMsg>, patrol_ms: u64) -> Result<Option<MasterMsg>, ()> {
+    if patrol_ms == 0 {
+        return rx.recv().map(Some).map_err(|_| ());
+    }
+    match rx.recv_timeout(Duration::from_millis(patrol_ms)) {
+        Ok(msg) => Ok(Some(msg)),
+        Err(RecvTimeoutError::Timeout) => Ok(None),
+        Err(RecvTimeoutError::Disconnected) => Err(()),
+    }
+}
+
+/// The master's self-healing patrol: dead-worker detection plus
+/// degradation-aware recalibration, run on quiet ticks of the message loop.
+struct Patrol {
+    grace: u32,
+    band: f64,
+    min_requests: u64,
+    /// The machine model the policy currently believes; rebased on every
+    /// recalibration (the configured model is only the starting point).
+    model: MachineConfig,
+    /// Last seen heartbeat and consecutive-stale tick count per
+    /// `(fragment, slot)`.
+    beats: HashMap<(usize, usize), (u64, u32)>,
+    /// Slots already declared dead (never declared twice).
+    dead: HashSet<(usize, usize)>,
+    /// Per-class `(requests, busy)` at the start of the current window.
+    io_baseline: [(u64, f64); 3],
+    recoveries: u64,
+    recalibrations: u64,
+}
+
+impl Patrol {
+    fn new(cfg: &ExecConfig, io_baseline: [(u64, f64); 3]) -> Self {
+        Patrol {
+            grace: cfg.patrol_grace.max(1),
+            band: cfg.recal_band,
+            min_requests: cfg.recal_min_requests.max(1),
+            model: cfg.machine.clone(),
+            beats: HashMap::new(),
+            dead: HashSet::new(),
+            io_baseline,
+            recoveries: 0,
+            recalibrations: 0,
+        }
+    }
+
+    /// Declare dead every slot whose heartbeat has been frozen for `grace`
+    /// consecutive ticks while its fragment still has unfinished units and
+    /// the slot never registered a voluntary exit. Each dead slot's
+    /// remaining share is revoked under the partition mutex (the §2.4
+    /// protocols' failure analogue) and a replacement slot is staffed.
+    ///
+    /// A false positive — a live worker stalled mid-unit — is safe: its
+    /// revoked slot hands out no further units, so it completes the one
+    /// unit it holds and retires; the replacement's cursor already sits
+    /// past that unit, keeping every unit exactly-once.
+    fn reap(
+        &mut self,
+        frags: &[FragSlot],
+        backends: &Backends<'_>,
+        machine: &Arc<Machine>,
+        catalog: &Arc<Catalog>,
+    ) {
+        for (gid, f) in frags.iter().enumerate() {
+            let FragStatus::Running(ctx) = &f.status else { continue };
+            if ctx.units_done.load(Ordering::SeqCst) >= ctx.total_units
+                || ctx.aborted.load(Ordering::Relaxed)
+            {
+                continue;
+            }
+            let snapshot: Vec<u64> =
+                lock(&ctx.heartbeats).iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            let exited: Vec<usize> = lock(&ctx.exited_slots).clone();
+            for (slot, &beat) in snapshot.iter().enumerate() {
+                let key = (gid, slot);
+                if self.dead.contains(&key) || exited.contains(&slot) {
+                    self.beats.remove(&key);
+                    continue;
+                }
+                let entry = self.beats.entry(key).or_insert((beat, 0));
+                if entry.0 == beat {
+                    entry.1 += 1;
+                } else {
+                    *entry = (beat, 0);
+                }
+                if entry.1 >= self.grace {
+                    self.dead.insert(key);
+                    let replacement = {
+                        let mut p = lock(&ctx.partition);
+                        match &mut *p {
+                            PartitionState::Page(pp) => pp.fail_slot(slot),
+                            PartitionState::Range(rp) => rp.fail_slot(slot),
+                        }
+                    };
+                    backends.staff(ctx, replacement, machine, catalog);
+                    self.recoveries += 1;
+                }
+            }
+        }
+    }
+
+    /// Compare the window's observed I/O service rate against the current
+    /// model. When the dominant class has drifted outside the tolerance
+    /// band, return a corrected machine model with every rate rescaled by
+    /// the observed ratio; the caller rebases the policy on it.
+    fn recalibrate(&mut self, machine: &Machine) -> Option<MachineConfig> {
+        if self.band <= 0.0 {
+            return None;
+        }
+        let obs = machine.observed_service();
+        let window: Vec<(u64, f64)> = (0..3)
+            .map(|i| (obs[i].0 - self.io_baseline[i].0, obs[i].1 - self.io_baseline[i].1))
+            .collect();
+        if window.iter().map(|w| w.0).sum::<u64>() < self.min_requests {
+            return None; // too little traffic to trust; keep accumulating
+        }
+        self.io_baseline = obs;
+        let (class, (count, busy)) =
+            window.into_iter().enumerate().max_by_key(|(_, (c, _))| *c)?;
+        if count == 0 || busy <= 0.0 {
+            return None;
+        }
+        let observed = count as f64 / busy;
+        let nominal = [self.model.seq_bw, self.model.almost_seq_bw, self.model.random_bw][class];
+        let ratio = observed / nominal;
+        if !ratio.is_finite() || (ratio - 1.0).abs() <= self.band {
+            return None;
+        }
+        let mut corrected = self.model.clone();
+        corrected.seq_bw *= ratio;
+        corrected.almost_seq_bw *= ratio;
+        corrected.random_bw *= ratio;
+        Some(corrected)
+    }
+}
+
+/// Join a thread, surfacing a panic as the typed
+/// [`ExecError::WorkerPanicked`] instead of a propagated unwind.
+///
+/// # Errors
+/// Returns the panic payload rendered into `WorkerPanicked` for `fragment`.
+pub fn join_worker(
+    handle: std::thread::JoinHandle<()>,
+    fragment: usize,
+) -> Result<(), ExecError> {
+    handle.join().map_err(|payload| ExecError::WorkerPanicked {
+        fragment,
+        message: panic_message(payload.as_ref()),
+    })
 }
 
 /// Transition a fragment to `Done` and hand back its running context.

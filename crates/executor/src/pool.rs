@@ -41,6 +41,9 @@ struct Shared {
     spawned: AtomicU64,
     /// Jobs ever submitted.
     submitted: AtomicU64,
+    /// Jobs run to completion (submitted − completed = in flight or queued;
+    /// the gap is what a liveness patrol compares against its grace window).
+    completed: AtomicU64,
 }
 
 /// Pool of persistent worker threads; jobs are `FnOnce` staffing closures.
@@ -98,6 +101,13 @@ impl WorkerPool {
         self.shared.submitted.load(Ordering::Relaxed)
     }
 
+    /// Jobs run to completion. Staffing jobs catch worker panics
+    /// internally, so for them completed always catches up with submitted;
+    /// a lasting gap means jobs are stuck or queued.
+    pub fn jobs_completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
     /// Run every queued job to completion, then stop and join all threads.
     pub fn shutdown(&self) {
         lock(&self.shared.q).shutdown = true;
@@ -134,7 +144,10 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match job {
-            Some(job) => job(),
+            Some(job) => {
+                job();
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            }
             None => return,
         }
     }
@@ -174,6 +187,7 @@ mod tests {
         pool.shutdown();
         assert!(pool.threads_spawned() >= 4);
         assert_eq!(pool.jobs_submitted(), 4);
+        assert_eq!(pool.jobs_completed(), 4);
     }
 
     #[test]

@@ -27,11 +27,13 @@ use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
+use xprs_disk::{RelId, WorkerFaultKind};
 use xprs_storage::partition::{PagePartition, RangePartition};
 use xprs_storage::{Catalog, Relation, Tuple};
 
-use crate::io::{lock, Machine};
+use crate::io::{lock, IoFault, Machine};
 use crate::master::MasterMsg;
 use crate::program::{Driver, FragmentProgram, Materialized, PipelineOp};
 
@@ -109,6 +111,11 @@ pub(crate) struct FragCtx {
     pub partition: Mutex<PartitionState>,
     /// Slots whose worker has exited (may be re-staffed on adjust).
     pub exited_slots: Mutex<Vec<usize>>,
+    /// Per-slot liveness counters, bumped once at startup and once per
+    /// completed unit. A slot whose counter freezes while the fragment
+    /// still has work — and which never registered in `exited_slots` — is
+    /// presumed dead by the master's patrol and its share reclaimed.
+    pub heartbeats: Mutex<Vec<Arc<AtomicU64>>>,
     /// Completed work units (pages or keys).
     pub units_done: AtomicU64,
     /// Total work units.
@@ -186,6 +193,9 @@ struct WorkerState<'m> {
     wid: xprs_disk::WorkerId,
     buf: Vec<(i32, Tuple)>,
     cpu_pending: f64,
+    /// First unrecoverable I/O fault this worker hit, if any; set once,
+    /// then every further read is skipped and the run aborts.
+    io_fault: Option<IoFault>,
 }
 
 impl<'m> WorkerState<'m> {
@@ -195,6 +205,24 @@ impl<'m> WorkerState<'m> {
             wid,
             buf: Vec::with_capacity(ctx.out_batch_tuples.max(1)),
             cpu_pending: 0.0,
+            io_fault: None,
+        }
+    }
+
+    /// Issue one page read through the retrying fault-aware path. Returns
+    /// `false` when the read failed unrecoverably: the caller must stop
+    /// producing from this unit, and the whole fragment is flagged to drain.
+    fn read(&mut self, ctx: &FragCtx, rel: RelId, block: u64, solo: bool) -> bool {
+        if self.io_fault.is_some() {
+            return false;
+        }
+        match self.machine.try_read(rel, block, self.wid, solo) {
+            Ok(_) => true,
+            Err(fault) => {
+                self.io_fault = Some(fault);
+                ctx.aborted.store(true, Ordering::Relaxed);
+                false
+            }
         }
     }
 
@@ -247,9 +275,38 @@ pub(crate) fn run_worker(
 ) {
     let wid = machine.new_worker_id();
     let mut ws = WorkerState::new(machine, wid, ctx);
+    let heartbeat = {
+        let mut beats = lock(&ctx.heartbeats);
+        while beats.len() <= slot {
+            beats.push(Arc::new(AtomicU64::new(0)));
+        }
+        beats[slot].clone()
+    };
+    heartbeat.fetch_add(1, Ordering::Relaxed);
+    let mut my_units = 0u64;
     loop {
         if ctx.aborted.load(Ordering::Relaxed) {
             break;
+        }
+        // Injected worker faults fire at unit boundaries: a pulled unit is
+        // always completed before the next pull, so a death here never
+        // leaves a unit half-done — its cursor cleanly separates finished
+        // work from the obligation the master will reclaim.
+        if let Some(plan) = machine.fault_plan() {
+            match plan.take_worker_fault(ctx.gid, slot, my_units) {
+                Some(WorkerFaultKind::Death) => {
+                    // Completed units live in shared memory and survive the
+                    // worker (flush them), but the slot vanishes without
+                    // registering in `exited_slots`: its heartbeat freezes
+                    // and the patrol declares it dead.
+                    ws.settle(ctx);
+                    return;
+                }
+                Some(WorkerFaultKind::Stall { millis }) => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                None => {}
+            }
         }
         let unit = {
             let mut p = lock(&ctx.partition);
@@ -264,8 +321,13 @@ pub(crate) fn run_worker(
             Unit::Key(key) => scan_key(ctx, catalog, key, &mut ws),
         }
         ctx.finish_unit();
+        my_units += 1;
+        heartbeat.fetch_add(1, Ordering::Relaxed);
     }
     ws.settle(ctx);
+    if let Some(fault) = ws.io_fault.take() {
+        let _ = ctx.done_tx.send(MasterMsg::IoFault { gid: ctx.gid, fault });
+    }
     lock(&ctx.exited_slots).push(slot);
 }
 
@@ -275,7 +337,9 @@ fn scan_page(ctx: &FragCtx, catalog: &Catalog, page: u64, ws: &mut WorkerState<'
         unreachable!("page unit on a non-page driver");
     };
     let relation = ctx.relation(catalog, rel);
-    ws.machine.read(relation.heap.rel(), page, ws.wid, ctx.solo());
+    if !ws.read(ctx, relation.heap.rel(), page, ctx.solo()) {
+        return;
+    }
     let p = relation.heap.page(page);
     ws.charge_cpu(ctx, p.n_tuples() as f64 * ctx.cpu_tuple);
     for (_, tuple) in p.iter() {
@@ -300,7 +364,9 @@ fn scan_key(ctx: &FragCtx, catalog: &Catalog, key: i64, ws: &mut WorkerState<'_>
             ws.charge_cpu(ctx, postings.len().max(1) as f64 * ctx.cpu_tuple);
             for &tid in postings {
                 // Unclustered posting dereference: a random heap-page read.
-                ws.machine.read(relation.heap.rel(), tid.block, ws.wid, false);
+                if !ws.read(ctx, relation.heap.rel(), tid.block, false) {
+                    return;
+                }
                 let tuple = relation
                     .heap
                     .fetch(tid)
@@ -356,7 +422,9 @@ fn pipeline(
                 .as_ref()
                 .unwrap_or_else(|| panic!("merge-indexed over unindexed {}", relation.name));
             for &tid in idx.lookup(key) {
-                ws.machine.read(relation.heap.rel(), tid.block, ws.wid, false);
+                if !ws.read(ctx, relation.heap.rel(), tid.block, false) {
+                    return;
+                }
                 let row = relation
                     .heap
                     .fetch(tid)

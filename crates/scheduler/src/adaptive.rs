@@ -420,6 +420,15 @@ impl SchedulePolicy for AdaptiveScheduler {
 
     fn on_finish(&mut self, _now: f64, _id: TaskId) {}
 
+    fn recalibrate(&mut self, _now: f64, machine: MachineConfig) {
+        // Adopt the measured machine wholesale: every subsequent balance
+        // point, maxp and T_inter/T_intra comparison plans against the
+        // bandwidth the array actually delivers. Queued tasks keep their
+        // classification from arrival time — boundedness is re-derived
+        // against the new machine on the next repair anyway.
+        self.cfg.machine = machine;
+    }
+
     fn decide(&mut self, now: f64, running: &[RunningTask]) -> Vec<Action> {
         if self.sink.is_some() && !(self.s_io.is_empty() && self.s_cpu.is_empty()) {
             let io: Vec<TaskId> = self.s_io.iter().map(|t| t.id).collect();

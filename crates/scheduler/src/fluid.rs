@@ -131,17 +131,32 @@ pub const FIXPOINT_ROUNDS: u32 = 32;
 pub struct FluidSim {
     machine: MachineConfig,
     sink: Option<SharedSink>,
+    /// Scheduled machine corrections as `(finish_count, machine)`: once that
+    /// many tasks have finished, the sim and the policy re-base on the
+    /// corrected machine. This is how a captured degradation-aware run (see
+    /// [`crate::trace::replay_through_fluid`]) replays in virtual time — the
+    /// recalibration fires at the same *causal* position it was recorded at,
+    /// not at a meaningless wall-clock timestamp.
+    recalibrations: Vec<(usize, MachineConfig)>,
 }
 
 impl FluidSim {
     /// Driver for machine `m` (must match the policy's machine).
     pub fn new(machine: MachineConfig) -> Self {
-        FluidSim { machine, sink: None }
+        FluidSim { machine, sink: None, recalibrations: Vec::new() }
     }
 
     /// Record every arrival, decision and applied action into `sink`.
     pub fn with_sink(mut self, sink: SharedSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Schedule machine corrections to apply after the given numbers of task
+    /// completions (see the field docs on `recalibrations`).
+    pub fn with_recalibrations(mut self, mut recals: Vec<(usize, MachineConfig)>) -> Self {
+        recals.sort_by_key(|(after, _)| *after);
+        self.recalibrations = recals;
         self
     }
 
@@ -206,14 +221,15 @@ impl FluidSim {
         dag: &FragmentDag,
         blocked: &[usize],
     ) -> Result<FluidResult, SchedError> {
-        let m = &self.machine;
-        let n = m.n_procs as f64;
+        // The machine may be re-based mid-run by a scheduled recalibration.
+        let mut machine = self.machine.clone();
+        let mut recal_idx = 0usize;
         let eps = 1e-9;
 
         emit(&self.sink, || TraceRecord::RunStart {
             driver: "fluid".to_string(),
             policy: policy.name().to_string(),
-            machine: m.clone(),
+            machine: machine.clone(),
         });
 
         let mut pending: Vec<(TaskProfile, f64)> = arrivals.to_vec();
@@ -235,6 +251,23 @@ impl FluidSim {
         // Generous bound: each task contributes at most a handful of events.
         let max_steps = 64 * (total_tasks + 1);
         for _step in 0..max_steps {
+            // Apply machine corrections whose causal position (number of
+            // completed tasks) has been reached, before the next decide.
+            while recal_idx < self.recalibrations.len()
+                && self.recalibrations[recal_idx].0 <= task_times.len()
+            {
+                let modeled = machine.total_bandwidth();
+                machine = self.recalibrations[recal_idx].1.clone();
+                recal_idx += 1;
+                emit(&self.sink, || TraceRecord::Recalibrate {
+                    now,
+                    observed_b: machine.total_bandwidth(),
+                    modeled_b: modeled,
+                    machine: machine.clone(),
+                });
+                policy.recalibrate(now, machine.clone());
+            }
+
             // Deliver arrivals due now.
             while pending_idx < pending.len() && pending[pending_idx].1 <= now + eps {
                 let (t, at) = pending[pending_idx].clone();
@@ -347,13 +380,14 @@ impl FluidSim {
             }
 
             // Progress rates under resource throttling.
+            let n = machine.n_procs as f64;
             let total_x: f64 = running.iter().map(|r| r.parallelism).sum();
             let cpu_scale = (n / total_x).min(1.0);
             let streams: Vec<(f64, crate::task::IoKind)> = running
                 .iter()
                 .map(|r| (r.profile.io_rate * r.parallelism * cpu_scale, r.profile.io_kind))
                 .collect();
-            let bw = effective_bandwidth(m, &streams);
+            let bw = effective_bandwidth(&machine, &streams);
             let demand: f64 = streams.iter().map(|(d, _)| d).sum();
             let io_scale = if demand > bw { bw / demand } else { 1.0 };
             let scale = cpu_scale * io_scale;
@@ -677,6 +711,34 @@ mod tests {
             self.flip = if self.flip == 1.0 { 2.0 } else { 1.0 };
             vec![Action::Adjust { id: TaskId(0), parallelism: self.flip }]
         }
+    }
+
+    #[test]
+    fn scheduled_recalibration_rebases_the_policy() {
+        use crate::trace::{action_stream, RingSink};
+        use std::sync::{Arc, Mutex};
+        // Two IO-bound tasks run one at a time; after the first finishes the
+        // machine is recalibrated to half its bandwidth, so the second must
+        // start at half the intra-operation parallelism.
+        let tasks = vec![seq(0, 10.0, 60.0), seq(1, 10.0, 60.0)];
+        let mut degraded = m();
+        degraded.almost_seq_bw = 30.0; // B: 240 → 120
+        let ring = Arc::new(Mutex::new(RingSink::unbounded()));
+        let sink: crate::trace::SharedSink = ring.clone();
+        let mut p = IntraOnly::new(m(), true);
+        FluidSim::new(m())
+            .with_recalibrations(vec![(1, degraded)])
+            .with_sink(sink)
+            .run(&mut p, &tasks)
+            .expect("replay");
+        let records = ring.lock().unwrap().records();
+        assert!(records.iter().any(|r| matches!(r, TraceRecord::Recalibrate { .. })));
+        let starts: Vec<f64> = action_stream(&records)
+            .into_iter()
+            .filter(|(_, a)| matches!(a, Action::Start { .. }))
+            .map(|(_, a)| a.parallelism())
+            .collect();
+        assert_eq!(starts, vec![4.0, 2.0], "second start must plan against the degraded machine");
     }
 
     #[test]

@@ -60,6 +60,12 @@ impl SchedulePolicy for IntraOnly {
 
     fn on_finish(&mut self, _now: f64, _id: TaskId) {}
 
+    fn recalibrate(&mut self, _now: f64, machine: MachineConfig) {
+        // Future effective_maxp computations divide by the measured
+        // bandwidth: a degraded array caps IO-bound tasks lower.
+        self.machine = machine;
+    }
+
     fn decide(&mut self, _now: f64, running: &[RunningTask]) -> Vec<Action> {
         if !running.is_empty() {
             return Vec::new();

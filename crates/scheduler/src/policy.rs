@@ -95,6 +95,15 @@ pub trait SchedulePolicy {
     /// apply. `running` describes every task currently executing (with the
     /// parallelism the driver last applied, and remaining work).
     fn decide(&mut self, now: f64, running: &[RunningTask]) -> Vec<Action>;
+
+    /// The driver measured the machine and found it differs from the model:
+    /// adopt `machine` as the planning basis from `now` on. Drivers call
+    /// this when observed bandwidth drifts outside the recalibration band
+    /// (e.g. a degraded disk); the default ignores it, so policies that
+    /// plan against nominal rates only are unaffected.
+    fn recalibrate(&mut self, now: f64, machine: MachineConfig) {
+        let _ = (now, machine);
+    }
 }
 
 /// Clamp a fractional allocation to whole workers in `1..=limit`.

@@ -147,6 +147,19 @@ pub enum TraceRecord {
         /// Rendered [`SchedError`] (or driver error).
         message: String,
     },
+    /// The driver measured the machine, found the observed bandwidth outside
+    /// the tolerance band of the model, and re-based the policy on the
+    /// corrected machine (degradation-aware rebalancing).
+    Recalibrate {
+        /// Driver clock at recalibration.
+        now: f64,
+        /// Observed aggregate bandwidth that triggered the recalibration.
+        observed_b: f64,
+        /// The modeled bandwidth it was compared against.
+        modeled_b: f64,
+        /// The corrected machine handed to [`SchedulePolicy::recalibrate`].
+        machine: MachineConfig,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -334,22 +347,28 @@ fn kind_str(k: IoKind) -> &'static str {
     }
 }
 
+fn machine_json(m: &MachineConfig) -> String {
+    format!(
+        "{{\"n_procs\":{},\"n_disks\":{},\"seq_bw\":{},\"almost_seq_bw\":{},\
+         \"random_bw\":{},\"memory\":{}}}",
+        m.n_procs,
+        m.n_disks,
+        fnum(m.seq_bw),
+        fnum(m.almost_seq_bw),
+        fnum(m.random_bw),
+        fnum(m.memory),
+    )
+}
+
 impl TraceRecord {
     /// One-line JSON rendering of the record (no trailing newline).
     pub fn to_json(&self) -> String {
         match self {
             TraceRecord::RunStart { driver, policy, machine } => format!(
-                "{{\"type\":\"run_start\",\"driver\":{},\"policy\":{},\"machine\":{{\
-                 \"n_procs\":{},\"n_disks\":{},\"seq_bw\":{},\"almost_seq_bw\":{},\
-                 \"random_bw\":{},\"memory\":{}}}}}",
+                "{{\"type\":\"run_start\",\"driver\":{},\"policy\":{},\"machine\":{}}}",
                 jstr(driver),
                 jstr(policy),
-                machine.n_procs,
-                machine.n_disks,
-                fnum(machine.seq_bw),
-                fnum(machine.almost_seq_bw),
-                fnum(machine.random_bw),
-                fnum(machine.memory),
+                machine_json(machine),
             ),
             TraceRecord::Arrival { now, profile } => format!(
                 "{{\"type\":\"arrival\",\"now\":{},\"task\":{},\"seq_time\":{},\
@@ -429,6 +448,14 @@ impl TraceRecord {
                 "{{\"type\":\"error\",\"now\":{},\"message\":{}}}",
                 fnum(*now),
                 jstr(message)
+            ),
+            TraceRecord::Recalibrate { now, observed_b, modeled_b, machine } => format!(
+                "{{\"type\":\"recalibrate\",\"now\":{},\"observed_b\":{},\
+                 \"modeled_b\":{},\"machine\":{}}}",
+                fnum(*now),
+                fnum(*observed_b),
+                fnum(*modeled_b),
+                machine_json(machine),
             ),
         }
     }
@@ -688,6 +715,18 @@ fn ids_of(v: &Json, key: &str, line: usize) -> Result<Vec<TaskId>, SchedError> {
         .collect()
 }
 
+fn machine_of(v: &Json, key: &str, line: usize) -> Result<MachineConfig, SchedError> {
+    let m = field(v, key, line)?;
+    Ok(MachineConfig {
+        n_procs: fnum_of(m, "n_procs", line)? as u32,
+        n_disks: fnum_of(m, "n_disks", line)? as u32,
+        seq_bw: fnum_of(m, "seq_bw", line)?,
+        almost_seq_bw: fnum_of(m, "almost_seq_bw", line)?,
+        random_bw: fnum_of(m, "random_bw", line)?,
+        memory: fnum_of(m, "memory", line)?,
+    })
+}
+
 fn action_of(v: &Json, line: usize) -> Result<Action, SchedError> {
     let kind = field(v, "kind", line)?
         .str()
@@ -711,27 +750,17 @@ impl TraceRecord {
             .ok_or_else(|| malformed(line, "record type is not a string"))?
             .to_string();
         match ty.as_str() {
-            "run_start" => {
-                let m = field(&v, "machine", line)?;
-                Ok(TraceRecord::RunStart {
-                    driver: field(&v, "driver", line)?
-                        .str()
-                        .ok_or_else(|| malformed(line, "driver is not a string"))?
-                        .to_string(),
-                    policy: field(&v, "policy", line)?
-                        .str()
-                        .ok_or_else(|| malformed(line, "policy is not a string"))?
-                        .to_string(),
-                    machine: MachineConfig {
-                        n_procs: fnum_of(m, "n_procs", line)? as u32,
-                        n_disks: fnum_of(m, "n_disks", line)? as u32,
-                        seq_bw: fnum_of(m, "seq_bw", line)?,
-                        almost_seq_bw: fnum_of(m, "almost_seq_bw", line)?,
-                        random_bw: fnum_of(m, "random_bw", line)?,
-                        memory: fnum_of(m, "memory", line)?,
-                    },
-                })
-            }
+            "run_start" => Ok(TraceRecord::RunStart {
+                driver: field(&v, "driver", line)?
+                    .str()
+                    .ok_or_else(|| malformed(line, "driver is not a string"))?
+                    .to_string(),
+                policy: field(&v, "policy", line)?
+                    .str()
+                    .ok_or_else(|| malformed(line, "policy is not a string"))?
+                    .to_string(),
+                machine: machine_of(&v, "machine", line)?,
+            }),
             "arrival" => {
                 let kind = match field(&v, "io_kind", line)?.str() {
                     Some("seq") => IoKind::Sequential,
@@ -811,6 +840,12 @@ impl TraceRecord {
                     .ok_or_else(|| malformed(line, "message is not a string"))?
                     .to_string(),
             }),
+            "recalibrate" => Ok(TraceRecord::Recalibrate {
+                now: fnum_of(&v, "now", line)?,
+                observed_b: fnum_of(&v, "observed_b", line)?,
+                modeled_b: fnum_of(&v, "modeled_b", line)?,
+                machine: machine_of(&v, "machine", line)?,
+            }),
             other => Err(malformed(line, format!("unknown record type {other:?}"))),
         }
     }
@@ -880,6 +915,9 @@ pub fn replay_decisions(
                 policy.on_arrival(*now, profile.clone());
             }
             TraceRecord::Finish { now, task } => policy.on_finish(*now, *task),
+            TraceRecord::Recalibrate { now, machine, .. } => {
+                policy.recalibrate(*now, machine.clone())
+            }
             TraceRecord::Decide { now, running, actions } => {
                 let snapshot: Vec<RunningTask> = running
                     .iter()
@@ -941,10 +979,14 @@ pub fn replay_through_fluid(records: &[TraceRecord]) -> Result<Vec<(f64, Action)
         })
         .ok_or_else(|| malformed(0, "trace has no run_start record"))?;
 
-    // Rebuild the dependency structure from arrival/finish causality.
+    // Rebuild the dependency structure from arrival/finish causality, and
+    // collect recalibrations keyed by the same causal coordinate (how many
+    // finishes preceded them): a wall-clock timestamp is meaningless to the
+    // virtual-time replay, the finish count is not.
     let mut dag = FragmentDag::new();
     let mut finished: Vec<usize> = Vec::new(); // dag indices finished so far
     let mut index_of: Vec<(TaskId, usize)> = Vec::new();
+    let mut recals: Vec<(usize, MachineConfig)> = Vec::new();
     for rec in records {
         match rec {
             TraceRecord::Arrival { profile, .. } => {
@@ -960,6 +1002,9 @@ pub fn replay_through_fluid(records: &[TraceRecord]) -> Result<Vec<(f64, Action)
                         finished.push(idx);
                     }
                 }
+            }
+            TraceRecord::Recalibrate { machine, .. } => {
+                recals.push((finished.len(), machine.clone()));
             }
             _ => {}
         }
@@ -981,7 +1026,10 @@ pub fn replay_through_fluid(records: &[TraceRecord]) -> Result<Vec<(f64, Action)
 
     let ring = Arc::new(Mutex::new(RingSink::unbounded()));
     let sink: SharedSink = ring.clone();
-    FluidSim::new(machine).with_sink(sink).run_dag(policy.as_mut(), &dag)?;
+    FluidSim::new(machine)
+        .with_recalibrations(recals)
+        .with_sink(sink)
+        .run_dag(policy.as_mut(), &dag)?;
     let replayed = ring.lock().map(|r| r.records()).unwrap_or_default();
     Ok(action_stream(&replayed))
 }
@@ -1028,6 +1076,12 @@ mod tests {
             TraceRecord::Finish { now: 1.5, task: TaskId(0) },
             TraceRecord::Rejected { now: 2.0, task: TaskId(9), reason: "io_rate = 0".into() },
             TraceRecord::Error { now: 3.0, message: "policy \"x\" diverged\n".into() },
+            TraceRecord::Recalibrate {
+                now: 4.0,
+                observed_b: 150.5,
+                modeled_b: 240.0,
+                machine: MachineConfig::paper_default(),
+            },
         ]
     }
 
@@ -1097,6 +1151,23 @@ mod tests {
             SchedError::MalformedTrace { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn replay_applies_recalibrations_to_the_policy() {
+        use crate::adaptive::{AdaptiveConfig, AdaptiveScheduler};
+        let mut degraded = MachineConfig::paper_default();
+        degraded.almost_seq_bw = 20.0;
+        let records = vec![TraceRecord::Recalibrate {
+            now: 1.0,
+            observed_b: 80.0,
+            modeled_b: 240.0,
+            machine: degraded.clone(),
+        }];
+        let mut p =
+            AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(MachineConfig::paper_default()));
+        replay_decisions(&records, &mut p).expect("replay");
+        assert_eq!(p.machine().almost_seq_bw, 20.0, "policy must adopt the corrected machine");
     }
 
     #[test]

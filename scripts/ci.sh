@@ -31,4 +31,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> bench_executor (writes BENCH_executor.json)"
 ./target/release/bench_executor BENCH_executor.json
 
+echo "==> chaos (fault-injection suite, fixed seeds, debug + release)"
+# The workspace legs above already run the chaos tests under proptest's
+# default seeding; this leg pins the seed so a property failure found here
+# is reproducible verbatim, and runs the fault suite in both profiles.
+PROPTEST_SEED=7 cargo test -q -p xprs-executor --offline \
+    --test chaos_exec --test chaos_proptest
+PROPTEST_SEED=7 cargo test -q -p xprs-executor --release --offline \
+    --test chaos_exec --test chaos_proptest
+
 echo "==> CI OK"
