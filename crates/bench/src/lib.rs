@@ -174,6 +174,125 @@ pub mod exec_scan {
     }
 }
 
+/// Shared scenario for the join-materialization benches: a hash join whose
+/// build side is large, so fragment materialization (worker output → sort →
+/// key index) dominates the run. The worker count and the
+/// [`xprs_executor::DataPath`] are the independent variables: `GlobalLock`
+/// is the legacy path (per-tuple lock, flat harvest, full serial re-sort,
+/// `HashMap` index), `Decontended` the rebuilt one (batched sink with
+/// worker-local sorted runs, pool-parallel k-way merge, CSR index).
+pub mod exec_join {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use xprs_disk::StripedLayout;
+    use xprs_executor::{DataPath, ExecConfig, Executor, QueryRun, RelBinding};
+    use xprs_optimizer::cost::{CostModel, RelInfo};
+    use xprs_optimizer::{decompose, OptimizedQuery, Plan};
+    use xprs_scheduler::MachineConfig;
+    use xprs_storage::{Catalog, Datum, Schema, Tuple};
+
+    use super::FixedParallelism;
+
+    /// One timed join workload.
+    #[derive(Debug, Clone, Copy)]
+    pub struct JoinRun {
+        /// Tuples materialized per query (build side + joined output) ×
+        /// queries — the work the data path is responsible for.
+        pub materialized: u64,
+        /// Joined tuples the run emitted (sanity check, > 0).
+        pub emitted: u64,
+        /// Wall-clock seconds for the whole run.
+        pub wall: f64,
+        /// Wall-clock seconds first fragment start → last fragment finish.
+        pub join_wall: f64,
+        /// OS threads the run created.
+        pub pool_threads: u64,
+        /// Worker-slot staffing and merge jobs submitted to the pool.
+        pub pool_jobs: u64,
+    }
+
+    /// A catalog with a large `big(a, b)` build side and a small `small(a,
+    /// b)` probe side, keys uniform in `0..key_mod`, minimum-size tuples so
+    /// the run is materialization-bound rather than IO-bound.
+    pub fn catalog(build_tuples: u64, probe_tuples: u64, key_mod: u64) -> Arc<Catalog> {
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        let mut seed = 0x10_1A_u64;
+        for (name, n) in [("big", build_tuples), ("small", probe_tuples)] {
+            cat.create(name, Schema::paper_rel());
+            let rows: Vec<Tuple> = (0..n)
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let a = ((seed >> 33) % key_mod) as i32;
+                    Tuple::from_values(vec![Datum::Int(a), Datum::Text(String::new())])
+                })
+                .collect();
+            cat.load(name, rows);
+        }
+        Arc::new(cat)
+    }
+
+    /// `big ⋈ small` with the big side as the hash-build input — pinned by
+    /// hand so the optimizer cannot flip the sides and move the
+    /// materialization load off the path under test.
+    fn optimized(cat: &Catalog) -> OptimizedQuery {
+        let plan = Plan::HashJoin {
+            build: Box::new(Plan::SeqScan { rel: 0 }),
+            probe: Box::new(Plan::SeqScan { rel: 1 }),
+        };
+        let rels: Vec<RelInfo> = ["big", "small"]
+            .iter()
+            .map(|n| {
+                let s = cat.get(n).expect("bench relation").stats();
+                RelInfo {
+                    n_tuples: s.n_tuples as f64,
+                    n_blocks: s.n_blocks as f64,
+                    n_distinct: s.n_distinct_a as f64,
+                    selectivity: 1.0,
+                    has_index: false,
+                    clustered: false,
+                }
+            })
+            .collect();
+        let costed = CostModel::paper_default().cost_plan(&plan, &rels);
+        let fragments = decompose(&plan, &costed, 0);
+        OptimizedQuery { seqcost: costed.cost.total_cost, parcost: 0.0, plan, fragments }
+    }
+
+    /// Run `n_queries` back-to-back `big ⋈ small` hash joins with `workers`
+    /// workers each, on data path `path`.
+    pub fn run(cat: &Arc<Catalog>, workers: u32, path: DataPath, n_queries: usize) -> JoinRun {
+        let build_tuples = cat.get("big").expect("bench relation").stats().n_tuples;
+        let optimized = optimized(cat);
+        let bindings = vec![
+            RelBinding { name: "big".into(), pred: (i32::MIN, i32::MAX) },
+            RelBinding { name: "small".into(), pred: (i32::MIN, i32::MAX) },
+        ];
+        let runs: Vec<QueryRun> = (0..n_queries)
+            .map(|_| QueryRun { optimized: optimized.clone(), bindings: bindings.clone() })
+            .collect();
+        let exec =
+            Executor::new(ExecConfig::unthrottled().with_data_path(path), cat.clone());
+        let mut policy = FixedParallelism::new(MachineConfig::paper_default(), workers);
+        let t0 = Instant::now();
+        let report = exec.run(&runs, &mut policy).expect("bench join failed");
+        let wall = t0.elapsed().as_secs_f64();
+        let first_start =
+            report.fragment_times.iter().map(|&(_, s, _)| s).fold(f64::INFINITY, f64::min);
+        let last_finish =
+            report.fragment_times.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
+        let emitted: u64 = report.results.iter().map(|r| r.rows.rows.len() as u64).sum();
+        JoinRun {
+            materialized: build_tuples * n_queries as u64 + emitted,
+            emitted,
+            wall,
+            join_wall: last_finish - first_start,
+            pool_threads: report.pool_threads,
+            pool_jobs: report.pool_jobs,
+        }
+    }
+}
+
 /// Mean of a slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

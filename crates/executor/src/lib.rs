@@ -39,5 +39,5 @@ pub use master::{
     join_worker, DataPath, ExecConfig, ExecError, ExecReport, Executor, QueryResult, QueryRun,
 };
 pub use pool::WorkerPool;
-pub use program::{compile, FragmentProgram, Materialized, PipelineOp, ProgramSet};
+pub use program::{compile, FragmentProgram, KeyIndex, Matches, Materialized, PipelineOp, ProgramSet};
 pub use worker::RelBinding;

@@ -24,12 +24,16 @@ use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
 use xprs_scheduler::trace::{emit, RunningSnap, SharedSink, TraceRecord};
 use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
 use xprs_storage::partition::{PagePartition, RangePartition};
-use xprs_storage::Catalog;
+use xprs_storage::runs::{merge_runs, split_runs};
+use xprs_storage::{Catalog, Tuple};
 
 use crate::io::{lock, IoFault, Machine, MachineStats};
 use crate::pool::WorkerPool;
 use crate::program::{compile, Driver, Materialized};
 use crate::worker::{run_worker, FragCtx, OutputSink, PartitionState, RelBinding};
+
+/// One pool-merge task: merges a disjoint key sub-range of the runs.
+type MergeTask = Box<dyn FnOnce() -> Vec<(i32, Tuple)> + Send>;
 
 /// Which executor data path to run.
 ///
@@ -88,6 +92,19 @@ pub struct ExecConfig {
     /// I/O requests that must land in a patrol window before its rate
     /// estimate is trusted for recalibration.
     pub recal_min_requests: u64,
+    /// Fragment outputs at least this many rows long have their sorted
+    /// worker runs merged **in parallel** on the worker pool (split into
+    /// disjoint key sub-ranges, one merge task per processor); smaller
+    /// outputs are merged serially on the master. Only meaningful under
+    /// [`DataPath::Decontended`].
+    pub parallel_merge_min_rows: usize,
+    /// Parallel-merge fan-out (key sub-ranges merged concurrently). `0` ⇒
+    /// auto: the simulated machine's processor count, capped by the host's
+    /// available parallelism — on a single-core host the merge stays
+    /// serial, since splitting would be pure copy overhead with no
+    /// concurrency to buy. Tests set an explicit fan-out to exercise the
+    /// pool-farmed path deterministically on any host.
+    pub parallel_merge_ways: usize,
 }
 
 impl ExecConfig {
@@ -108,6 +125,8 @@ impl ExecConfig {
             patrol_grace: 3,
             recal_band: 0.2,
             recal_min_requests: 64,
+            parallel_merge_min_rows: 4096,
+            parallel_merge_ways: 0,
         }
     }
 
@@ -211,6 +230,15 @@ pub enum ExecError {
         /// The underlying fault.
         fault: IoFault,
     },
+    /// A merge-indexed probe needed an index on `a` that the relation does
+    /// not have (a planning/catalog mismatch); the run was drained and
+    /// abandoned.
+    IndexMissing {
+        /// Global fragment index whose worker hit the probe.
+        fragment: usize,
+        /// The unindexed relation's name.
+        name: String,
+    },
     /// A query's fragment table holds no root fragment (a compiler
     /// invariant violation surfaced as a typed error, not a panic).
     RootMissing {
@@ -249,6 +277,9 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::IoFault { fragment, fault } => {
                 write!(f, "fragment {fragment}: {fault}")
+            }
+            ExecError::IndexMissing { fragment, name } => {
+                write!(f, "fragment {fragment}: merge-indexed probe over unindexed {name:?}")
             }
             ExecError::RootMissing { query } => {
                 write!(f, "query {query} has no root fragment")
@@ -321,6 +352,13 @@ pub(crate) enum MasterMsg {
         gid: usize,
         /// The underlying fault.
         fault: IoFault,
+    },
+    /// A merge-indexed probe found no index on the relation.
+    IndexMissing {
+        /// Global fragment index.
+        gid: usize,
+        /// The unindexed relation's name.
+        name: String,
     },
 }
 
@@ -568,6 +606,10 @@ impl Executor {
                     drain(&frags, &backends);
                     return Err(ExecError::IoFault { fragment: gid, fault });
                 }
+                MasterMsg::IndexMissing { gid, name } => {
+                    drain(&frags, &backends);
+                    return Err(ExecError::IndexMissing { fragment: gid, name });
+                }
             };
             let t_done = now(t0);
             // Finalize: harvest the output, free the context.
@@ -578,8 +620,7 @@ impl Executor {
                     return Err(fail(e.into(), done_count, t_done, &frags, &backends));
                 }
             };
-            let rows = ctx.out.harvest();
-            frags[gid].output = Some(Arc::new(Materialized::build(rows)));
+            frags[gid].output = Some(Arc::new(self.materialize(&ctx, &backends)));
             frags[gid].finished_at = t_done;
             done_count += 1;
             emit(&self.sink, || TraceRecord::Finish { now: t_done, task: finished });
@@ -633,6 +674,52 @@ impl Executor {
             worker_recoveries: patrol.recoveries,
             recalibrations: patrol.recalibrations,
         })
+    }
+
+    /// Fragment-barrier materialization.
+    ///
+    /// On [`DataPath::Decontended`] the sink holds the workers' locally
+    /// sorted runs: a stable k-way merge (O(n log k), no re-sort) produces
+    /// the key-ordered rows, and for outputs past
+    /// `parallel_merge_min_rows` the merge itself is farmed to the
+    /// persistent worker pool — the runs are split at key boundaries into
+    /// one disjoint sub-range per processor, merged concurrently, and
+    /// concatenated. A single counting pass then erects the CSR index.
+    /// [`DataPath::GlobalLock`] reproduces the seed: flat harvest, full
+    /// O(n log n) re-sort, and a per-key `HashMap<i32, Vec<usize>>` built
+    /// one entry at a time.
+    fn materialize(&self, ctx: &FragCtx, backends: &Backends<'_>) -> Materialized {
+        match self.cfg.data_path {
+            DataPath::GlobalLock => Materialized::build(ctx.out.harvest()),
+            DataPath::Decontended => {
+                let runs = ctx.out.harvest_runs();
+                let total: usize = runs.iter().map(Vec::len).sum();
+                let ways = if self.cfg.parallel_merge_ways == 0 {
+                    (self.cfg.machine.n_procs as usize)
+                        .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+                } else {
+                    self.cfg.parallel_merge_ways
+                };
+                if !backends.use_pool
+                    || ways <= 1
+                    || runs.len() <= 1
+                    || total < self.cfg.parallel_merge_min_rows.max(1)
+                {
+                    // ≤ 1 run needs no merge at all — splitting it across
+                    // the pool would be pure copy overhead.
+                    return Materialized::from_runs(runs);
+                }
+                let tasks: Vec<MergeTask> = split_runs(runs, ways)
+                    .into_iter()
+                    .map(|group| Box::new(move || merge_runs(group)) as MergeTask)
+                    .collect();
+                let mut rows = Vec::with_capacity(total);
+                for part in backends.pool.scatter_gather(tasks) {
+                    rows.extend(part);
+                }
+                Materialized::from_sorted_rows(rows)
+            }
+        }
     }
 
     fn decide(

@@ -108,6 +108,43 @@ impl WorkerPool {
         self.shared.completed.load(Ordering::Relaxed)
     }
 
+    /// Fan `tasks` out to the pool and block until every result is in,
+    /// returned in task order. Used by the master to parallelize the
+    /// fragment-barrier run merge: each task merges one disjoint key
+    /// sub-range. Safe to call while worker jobs are in flight — the pool
+    /// grows on demand, so gather tasks never queue behind a long-running
+    /// staffing job (which could deadlock the barrier).
+    ///
+    /// # Panics
+    /// Re-raises (on the calling thread) the panic of any task that
+    /// panicked, after all tasks have settled.
+    pub fn scatter_gather<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        let n = tasks.len();
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(Box::new(move || {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                let _ = tx.send((i, out));
+            }));
+        }
+        drop(tx);
+        let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| match s.expect("every gather task reports") {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+
     /// Run every queued job to completion, then stop and join all threads.
     pub fn shutdown(&self) {
         lock(&self.shared.q).shutdown = true;
@@ -209,6 +246,38 @@ mod tests {
         // pool a little under unlucky scheduling, but must not approach one
         // thread per job (32).
         assert!(pool.threads_spawned() <= 12, "spawned {}", pool.threads_spawned());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scatter_gather_returns_results_in_task_order() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = pool.scatter_gather(tasks);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scatter_gather_works_while_long_jobs_occupy_the_pool() {
+        // A long-running staffing-style job must not starve the gather
+        // (the pool grows on demand).
+        let pool = WorkerPool::new(1);
+        let release = Arc::new(AtomicUsize::new(0));
+        let r = release.clone();
+        pool.submit(Box::new(move || {
+            while r.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+        }));
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..4u32)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> u32 + Send>)
+            .collect();
+        let out = pool.scatter_gather(tasks);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        release.store(1, Ordering::SeqCst);
         pool.shutdown();
     }
 

@@ -15,26 +15,99 @@
 use std::collections::HashMap;
 
 use xprs_optimizer::Plan;
+use xprs_storage::runs::{merge_runs, CsrIndex};
 use xprs_storage::Tuple;
 
-/// A materialized fragment output: rows sorted by key plus a hash index.
+/// How a [`Materialized`]'s rows are indexed by key.
+///
+/// [`KeyIndex::Csr`] is the production index: sorted unique keys + CSR
+/// offsets + positions, built by one counting pass over the already-sorted
+/// rows; a probe is a binary search (or cursor seek) plus a slice borrow,
+/// with zero heap allocation. [`KeyIndex::Hash`] is the seed's
+/// `HashMap<key, Vec<pos>>`, kept selectable (via
+/// [`DataPath::GlobalLock`](crate::master::DataPath)) for A/B benchmarking.
+#[derive(Debug, Clone)]
+pub enum KeyIndex {
+    /// Seed path: key → indices into `rows`, one heap `Vec` per key.
+    Hash(HashMap<i32, Vec<usize>>),
+    /// Allocation-lean CSR over the sorted rows.
+    Csr(CsrIndex),
+}
+
+impl Default for KeyIndex {
+    fn default() -> Self {
+        KeyIndex::Csr(CsrIndex::default())
+    }
+}
+
+/// A materialized fragment output: rows sorted by key plus a key index.
 #[derive(Debug, Clone, Default)]
 pub struct Materialized {
     /// `(key, tuple)` rows in ascending key order.
     pub rows: Vec<(i32, Tuple)>,
-    /// key → indices into `rows`.
-    pub hash: HashMap<i32, Vec<usize>>,
+    /// key → positions into `rows`.
+    index: KeyIndex,
 }
 
+/// Iterator over the rows bearing one key (see [`Materialized::matches`]).
+pub struct Matches<'a> {
+    rows: &'a [(i32, Tuple)],
+    idx: MatchIdx<'a>,
+}
+
+enum MatchIdx<'a> {
+    Hash(std::slice::Iter<'a, usize>),
+    Csr(std::slice::Iter<'a, u32>),
+}
+
+impl<'a> Iterator for Matches<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        let pos = match &mut self.idx {
+            MatchIdx::Hash(it) => it.next().copied()?,
+            MatchIdx::Csr(it) => it.next().copied()? as usize,
+        };
+        Some(&self.rows[pos].1)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.idx {
+            MatchIdx::Hash(it) => it.size_hint(),
+            MatchIdx::Csr(it) => it.size_hint(),
+        }
+    }
+}
+
+const NO_HASH_MATCH: &[usize] = &[];
+
 impl Materialized {
-    /// Build from unordered fragment output.
+    /// Build from unordered fragment output with the seed's hash index
+    /// (the legacy path, selected by `DataPath::GlobalLock`): full stable
+    /// re-sort, then one hash-map entry per key with a growing `Vec` of
+    /// positions.
     pub fn build(mut out: Vec<(i32, Tuple)>) -> Self {
         out.sort_by_key(|(k, _)| *k);
         let mut hash: HashMap<i32, Vec<usize>> = HashMap::new();
         for (i, (k, _)) in out.iter().enumerate() {
             hash.entry(*k).or_default().push(i);
         }
-        Materialized { rows: out, hash }
+        Materialized { rows: out, index: KeyIndex::Hash(hash) }
+    }
+
+    /// Build from rows already sorted by key: one counting pass erects the
+    /// CSR index, no re-sort, no per-key allocation.
+    pub fn from_sorted_rows(rows: Vec<(i32, Tuple)>) -> Self {
+        let index = KeyIndex::Csr(CsrIndex::from_sorted(&rows));
+        Materialized { rows, index }
+    }
+
+    /// Build from locally sorted worker runs by stable k-way merge
+    /// (O(n log k)) plus the CSR counting pass. Equal keys keep run order,
+    /// so merging consecutive stably-sorted chunks of a vector reproduces
+    /// [`Materialized::build`]'s row order exactly.
+    pub fn from_runs(runs: Vec<Vec<(i32, Tuple)>>) -> Self {
+        Materialized::from_sorted_rows(merge_runs(runs))
     }
 
     /// Smallest key present (None if empty).
@@ -47,13 +120,36 @@ impl Materialized {
         self.rows.last().map(|(k, _)| *k)
     }
 
-    /// Rows bearing `key`.
-    pub fn matches(&self, key: i32) -> impl Iterator<Item = &Tuple> {
-        self.hash
-            .get(&key)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.rows[i].1)
+    /// Is this backed by the allocation-lean CSR index?
+    pub fn is_csr(&self) -> bool {
+        matches!(self.index, KeyIndex::Csr(_))
+    }
+
+    /// Rows bearing `key`: a hash lookup on the legacy index, a binary
+    /// search + slice borrow (zero allocation) on the CSR index.
+    pub fn matches(&self, key: i32) -> Matches<'_> {
+        let idx = match &self.index {
+            KeyIndex::Hash(h) => {
+                MatchIdx::Hash(h.get(&key).map_or(NO_HASH_MATCH, Vec::as_slice).iter())
+            }
+            KeyIndex::Csr(c) => MatchIdx::Csr(c.lookup(key).iter()),
+        };
+        Matches { rows: &self.rows, idx }
+    }
+
+    /// Cursor-based variant of [`Materialized::matches`] for merge joins:
+    /// over an ascending probe-key stream the CSR cursor only moves
+    /// forward (amortized O(1) per probe), falling back to a binary
+    /// re-seek when the stream regresses (e.g. after an interval
+    /// re-partitioning). The legacy hash index ignores the cursor.
+    pub fn matches_from(&self, key: i32, cursor: &mut usize) -> Matches<'_> {
+        let idx = match &self.index {
+            KeyIndex::Hash(h) => {
+                MatchIdx::Hash(h.get(&key).map_or(NO_HASH_MATCH, Vec::as_slice).iter())
+            }
+            KeyIndex::Csr(c) => MatchIdx::Csr(c.seek(key, cursor).iter()),
+        };
+        Matches { rows: &self.rows, idx }
     }
 }
 
@@ -394,10 +490,69 @@ mod tests {
             (5, Tuple::from_values(vec![])),
         ];
         let m = Materialized::build(rows);
+        assert!(!m.is_csr());
         assert_eq!(m.min_key(), Some(1));
         assert_eq!(m.max_key(), Some(5));
         assert_eq!(m.matches(5).count(), 2);
         assert_eq!(m.matches(2).count(), 0);
         assert!(m.rows.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    fn tagged(key: i32, tag: i32) -> (i32, Tuple) {
+        (key, Tuple::from_values(vec![xprs_storage::Datum::Int(tag)]))
+    }
+
+    #[test]
+    fn csr_build_from_runs_equals_legacy_build() {
+        let rows = vec![
+            tagged(5, 0),
+            tagged(-1, 1),
+            tagged(5, 2),
+            tagged(3, 3),
+            tagged(-1, 4),
+            tagged(5, 5),
+            tagged(7, 6),
+        ];
+        let legacy = Materialized::build(rows.clone());
+        // Worker emulation: consecutive chunks, each stably sorted locally.
+        let mut runs: Vec<Vec<(i32, Tuple)>> = rows.chunks(3).map(|c| c.to_vec()).collect();
+        for r in &mut runs {
+            r.sort_by_key(|(k, _)| *k);
+        }
+        let csr = Materialized::from_runs(runs);
+        assert!(csr.is_csr());
+        assert_eq!(csr.rows, legacy.rows, "stable merge must reproduce the stable sort");
+        assert_eq!(csr.min_key(), legacy.min_key());
+        assert_eq!(csr.max_key(), legacy.max_key());
+        for key in -2..9 {
+            let a: Vec<&Tuple> = legacy.matches(key).collect();
+            let b: Vec<&Tuple> = csr.matches(key).collect();
+            assert_eq!(a, b, "matches({key})");
+        }
+    }
+
+    #[test]
+    fn csr_cursor_matches_agree_with_plain_matches() {
+        let mut rows: Vec<(i32, Tuple)> = (0..200).map(|i| tagged(i % 17, i)).collect();
+        rows.sort_by_key(|(k, _)| *k);
+        let m = Materialized::from_sorted_rows(rows);
+        let mut cursor = 0usize;
+        // Ascending probes, then a regression, then ascent again.
+        for key in [-3, 0, 0, 4, 4, 5, 16, 20, 2, 11, 11, 16] {
+            let a: Vec<&Tuple> = m.matches(key).collect();
+            let b: Vec<&Tuple> = m.matches_from(key, &mut cursor).collect();
+            assert_eq!(a, b, "probe {key}");
+        }
+    }
+
+    #[test]
+    fn empty_materialized_probes_cleanly_on_both_indexes() {
+        for m in [Materialized::build(Vec::new()), Materialized::from_runs(Vec::new())] {
+            assert_eq!(m.min_key(), None);
+            assert_eq!(m.max_key(), None);
+            assert_eq!(m.matches(0).count(), 0);
+            let mut cur = 0;
+            assert_eq!(m.matches_from(0, &mut cur).count(), 0);
+        }
     }
 }

@@ -12,9 +12,13 @@
 //! The seed pushed every result tuple through a fragment-global
 //! `Mutex<Vec>` and took the CPU gate once per `compute` call, so at 8
 //! workers the hot path serialized on those locks. Now each worker owns a
-//! local output buffer that is flushed into the fragment sink **per batch**
-//! (one lock round per `out_batch_tuples` tuples), and simulated CPU is
-//! accumulated locally and charged through the gate per batch as well. The
+//! local output buffer that accumulates its **entire** share of the
+//! fragment output — zero sink-lock rounds while scanning — and is stably
+//! sorted by key and handed to the sink as **one sorted run** when the
+//! worker exits (or dies, or is retired). The per-worker sorts run in
+//! parallel across the workers, and the master replaces its full
+//! O(n log n) re-sort with a k-way merge of the few worker runs. Simulated
+//! CPU is accumulated locally and charged through the gate per batch. The
 //! fragment completes when every unit is done **and** every worker has
 //! flushed and exited — completion is announced by the last worker out, so
 //! the master never harvests a partially flushed sink. The seed's
@@ -31,6 +35,7 @@ use std::time::Duration;
 
 use xprs_disk::{RelId, WorkerFaultKind};
 use xprs_storage::partition::{PagePartition, RangePartition};
+use xprs_storage::runs::is_sorted_run;
 use xprs_storage::{Catalog, Relation, Tuple};
 
 use crate::io::{lock, IoFault, Machine};
@@ -61,19 +66,47 @@ pub(crate) enum PartitionState {
     Range(RangePartition),
 }
 
-/// The fragment's result sink: whole per-worker batches, one lock round per
-/// batch. The master concatenates at harvest time.
+/// The fragment's result sink: one **locally sorted run** per worker
+/// episode, one lock round per run. The worker sorts its accumulated
+/// output *before* taking the sink lock, so the sort work itself runs in
+/// parallel across workers and the master can replace its full O(n log n)
+/// re-sort with an O(n log k) k-way merge of the runs (k ≈ the number of
+/// worker episodes, not the output size).
 #[derive(Default)]
 pub(crate) struct OutputSink {
     batches: Mutex<Vec<Vec<(i32, Tuple)>>>,
 }
 
 impl OutputSink {
-    /// Append a worker's whole local batch (the batch is emptied).
-    pub(crate) fn flush(&self, local: &mut Vec<(i32, Tuple)>) {
-        if !local.is_empty() {
-            lock(&self.batches).push(mem::take(local));
+    /// Sort the worker's accumulated output by key (stably, outside the
+    /// lock) and append it as one run (the buffer is emptied).
+    ///
+    /// The sort is indirect: keys and positions pack into `u64`s
+    /// (sign-flipped key in the high half, position in the low half, so
+    /// unstable integer sort is stable on keys by construction) and the
+    /// 32-byte rows move exactly once, in the final gather — measurably
+    /// faster than dragging the rows through the sort itself.
+    pub(crate) fn push_run(&self, local: &mut Vec<(i32, Tuple)>) {
+        if local.is_empty() {
+            return;
         }
+        let run = if is_sorted_run(local) {
+            mem::take(local)
+        } else {
+            let mut order: Vec<u64> = local
+                .iter()
+                .enumerate()
+                .map(|(i, &(k, _))| ((((k as u32) ^ 0x8000_0000) as u64) << 32) | i as u64)
+                .collect();
+            order.sort_unstable();
+            let mut slots: Vec<Option<(i32, Tuple)>> =
+                mem::take(local).into_iter().map(Some).collect();
+            order
+                .into_iter()
+                .map(|p| slots[(p & 0xFFFF_FFFF) as usize].take().expect("unique position"))
+                .collect()
+        };
+        lock(&self.batches).push(run);
     }
 
     /// Seed-path emulation: one lock round per tuple into a single vector.
@@ -85,7 +118,8 @@ impl OutputSink {
         b[0].push((key, tuple));
     }
 
-    /// Take everything flushed so far as one flat row vector.
+    /// Take everything flushed so far as one flat row vector (the legacy
+    /// harvest; the caller re-sorts).
     pub(crate) fn harvest(&self) -> Vec<(i32, Tuple)> {
         let mut batches = mem::take(&mut *lock(&self.batches));
         let total = batches.iter().map(Vec::len).sum();
@@ -94,6 +128,12 @@ impl OutputSink {
             out.append(b);
         }
         out
+    }
+
+    /// Take everything flushed so far as the locally sorted runs the
+    /// batched path produced, ready for a k-way merge.
+    pub(crate) fn harvest_runs(&self) -> Vec<Vec<(i32, Tuple)>> {
+        mem::take(&mut *lock(&self.batches))
     }
 }
 
@@ -135,8 +175,9 @@ pub(crate) struct FragCtx {
     pub done_tx: Sender<MasterMsg>,
     /// CPU seconds charged per tuple examined.
     pub cpu_tuple: f64,
-    /// Tuples buffered per worker before one sink flush (0 ⇒ seed path:
-    /// one lock round per tuple).
+    /// 0 ⇒ seed path: one sink-lock round per tuple. Non-zero ⇒ batched
+    /// path: workers accumulate their whole output locally (this value
+    /// seeds the buffer capacity) and settle it as one sorted run.
     pub out_batch_tuples: usize,
     /// Simulated CPU seconds accumulated before one gate acquisition
     /// (0.0 ⇒ seed path: one acquisition per compute call).
@@ -196,6 +237,14 @@ struct WorkerState<'m> {
     /// First unrecoverable I/O fault this worker hit, if any; set once,
     /// then every further read is skipped and the run aborts.
     io_fault: Option<IoFault>,
+    /// Relation whose index a merge-indexed probe needed and did not find;
+    /// set once, the run aborts, and the master surfaces it as
+    /// [`ExecError::IndexMissing`](crate::master::ExecError::IndexMissing).
+    index_fault: Option<String>,
+    /// Per-pipeline-op merge cursors (indexed by op depth): a `MergeWith`
+    /// over a CSR-indexed input advances its cursor monotonically with the
+    /// worker's ascending key stream instead of re-probing from scratch.
+    cursors: Vec<usize>,
 }
 
 impl<'m> WorkerState<'m> {
@@ -206,6 +255,8 @@ impl<'m> WorkerState<'m> {
             buf: Vec::with_capacity(ctx.out_batch_tuples.max(1)),
             cpu_pending: 0.0,
             io_fault: None,
+            index_fault: None,
+            cursors: vec![0; ctx.program.ops.len()],
         }
     }
 
@@ -227,16 +278,14 @@ impl<'m> WorkerState<'m> {
     }
 
     /// Emit one result tuple. On the batched path this touches no shared
-    /// state until the local buffer fills.
+    /// state at all: the tuple lands in the worker-local run, which reaches
+    /// the sink (sorted) only when the worker settles.
     fn emit(&mut self, ctx: &FragCtx, key: i32, tuple: Tuple) {
         if ctx.out_batch_tuples == 0 {
             ctx.out.push_contended(key, tuple);
             return;
         }
         self.buf.push((key, tuple));
-        if self.buf.len() >= ctx.out_batch_tuples {
-            ctx.out.flush(&mut self.buf);
-        }
     }
 
     /// Charge simulated CPU seconds; acquires the gate only when the local
@@ -255,10 +304,11 @@ impl<'m> WorkerState<'m> {
         }
     }
 
-    /// Flush everything outstanding (end of the worker's run).
+    /// Flush everything outstanding (end of the worker's run): the local
+    /// output becomes one sorted run in the sink.
     fn settle(&mut self, ctx: &FragCtx) {
         self.settle_cpu();
-        ctx.out.flush(&mut self.buf);
+        ctx.out.push_run(&mut self.buf);
     }
 }
 
@@ -327,6 +377,9 @@ pub(crate) fn run_worker(
     ws.settle(ctx);
     if let Some(fault) = ws.io_fault.take() {
         let _ = ctx.done_tx.send(MasterMsg::IoFault { gid: ctx.gid, fault });
+    }
+    if let Some(name) = ws.index_fault.take() {
+        let _ = ctx.done_tx.send(MasterMsg::IndexMissing { gid: ctx.gid, name });
     }
     lock(&ctx.exited_slots).push(slot);
 }
@@ -397,8 +450,20 @@ fn pipeline(
         return;
     };
     match op {
-        PipelineOp::ProbeHash { dep } | PipelineOp::MergeWith { dep } => {
+        PipelineOp::ProbeHash { dep } => {
             for row in ctx.input(*dep).matches(key) {
+                pipeline(ctx, catalog, key, tuple.join(row), depth + 1, ws);
+            }
+        }
+        PipelineOp::MergeWith { dep } => {
+            // True cursor-based merge: this worker's driver (key scan or
+            // key-domain walk) hands out ascending keys, so the input's
+            // cursor advances monotonically instead of re-probing per key.
+            let input = ctx.input(*dep);
+            let mut cursor = ws.cursors[depth];
+            let matched = input.matches_from(key, &mut cursor);
+            ws.cursors[depth] = cursor;
+            for row in matched {
                 pipeline(ctx, catalog, key, tuple.join(row), depth + 1, ws);
             }
         }
@@ -417,10 +482,17 @@ fn pipeline(
                 return;
             }
             let relation = ctx.relation(catalog, *rel);
-            let idx = relation
-                .index_on_a
-                .as_ref()
-                .unwrap_or_else(|| panic!("merge-indexed over unindexed {}", relation.name));
+            let Some(idx) = relation.index_on_a.as_ref() else {
+                // A merge-indexed probe over an unindexed relation is a
+                // planning/catalog mismatch, not a worker bug: record it
+                // once, flag the fragment to drain, and let the master
+                // surface the typed error.
+                if ws.index_fault.is_none() {
+                    ws.index_fault = Some(relation.name.clone());
+                }
+                ctx.aborted.store(true, Ordering::Relaxed);
+                return;
+            };
             for &tid in idx.lookup(key) {
                 if !ws.read(ctx, relation.heap.rel(), tid.block, false) {
                     return;

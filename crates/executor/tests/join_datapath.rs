@@ -1,0 +1,248 @@
+//! E2e regression for the join-materialization rebuild: every plan shape
+//! the compiler knows (hash join, deep probe chain, nestloop, key-domain
+//! merge, bushy) must return **byte-identical** results on the legacy
+//! materialization path (flat harvest → full re-sort → hash index,
+//! `DataPath::GlobalLock`) and the new one (locally sorted worker runs →
+//! k-way merge → CSR index, `DataPath::Decontended`) — with the parallel
+//! pool-farmed merge both above and below its engagement threshold, and
+//! under a fault plan that kills a worker mid-build.
+//!
+//! Payloads are a pure function of `(relation, key)`, so rows bearing one
+//! key are indistinguishable and row-for-row equality of the key-sorted
+//! outputs is well-defined across paths.
+
+use std::sync::Arc;
+
+use xprs_disk::{FaultPlan, StripedLayout};
+use xprs_executor::{DataPath, ExecConfig, ExecError, Executor, QueryRun, RelBinding};
+use xprs_optimizer::cost::{CostModel, RelInfo};
+use xprs_optimizer::{decompose, OptimizedQuery, Plan};
+use xprs_scheduler::intra::IntraOnly;
+use xprs_scheduler::MachineConfig;
+use xprs_storage::{Catalog, Datum, Schema, Tuple};
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+/// Four indexed relations; payload `b` depends only on `(relation, a)`.
+fn catalog() -> Arc<Catalog> {
+    let mut cat = Catalog::new(StripedLayout::new(4));
+    let mut seed = 0x1013_u64;
+    for (name, n, key_mod) in
+        [("r0", 300u64, 40u64), ("r1", 500, 50), ("r2", 400, 45), ("r3", 350, 35)]
+    {
+        cat.create(name, Schema::paper_rel());
+        let rows: Vec<Tuple> = (0..n)
+            .map(|_| {
+                let a = (lcg(&mut seed) % key_mod) as i32;
+                Tuple::from_values(vec![Datum::Int(a), Datum::Text(format!("{name}:{a}"))])
+            })
+            .collect();
+        cat.load(name, rows);
+        cat.build_index(name, false);
+    }
+    Arc::new(cat)
+}
+
+fn scan(rel: usize) -> Box<Plan> {
+    Box::new(Plan::SeqScan { rel })
+}
+
+fn iscan(rel: usize) -> Box<Plan> {
+    Box::new(Plan::IndexScan { rel })
+}
+
+/// Build an [`OptimizedQuery`] around a hand-written plan shape, deriving
+/// cost estimates and the fragment decomposition the same way the
+/// optimizer's phase two does.
+fn optimized_from_plan(cat: &Catalog, names: &[&str], plan: Plan) -> OptimizedQuery {
+    let rels: Vec<RelInfo> = names
+        .iter()
+        .map(|n| {
+            let rel = cat.get(n).expect("test relation");
+            let s = rel.stats();
+            RelInfo {
+                n_tuples: s.n_tuples as f64,
+                n_blocks: s.n_blocks as f64,
+                n_distinct: s.n_distinct_a as f64,
+                selectivity: 1.0,
+                has_index: rel.index_on_a.is_some(),
+                clustered: rel.index_on_a.as_ref().is_some_and(|i| i.is_clustered()),
+            }
+        })
+        .collect();
+    let costed = CostModel::paper_default().cost_plan(&plan, &rels);
+    let fragments = decompose(&plan, &costed, 0);
+    OptimizedQuery { seqcost: costed.cost.total_cost, parcost: 0.0, plan, fragments }
+}
+
+fn bindings(names: &[&str]) -> Vec<RelBinding> {
+    names
+        .iter()
+        .map(|n| RelBinding { name: (*n).to_string(), pred: (i32::MIN, i32::MAX) })
+        .collect()
+}
+
+fn run_shape(
+    cat: &Arc<Catalog>,
+    names: &[&str],
+    plan: &Plan,
+    mut cfg: ExecConfig,
+    faults: Option<Arc<FaultPlan>>,
+) -> Result<Vec<(i32, Tuple)>, ExecError> {
+    if let Some(plan) = faults {
+        cfg = cfg.with_faults(plan);
+    }
+    let optimized = optimized_from_plan(cat, names, plan.clone());
+    let exec = Executor::new(cfg, cat.clone());
+    let mut policy = IntraOnly::new(MachineConfig::paper_default(), true);
+    let report =
+        exec.run(&[QueryRun { optimized, bindings: bindings(names) }], &mut policy)?;
+    Ok(report.results[0].rows.rows.clone())
+}
+
+/// Every compiler plan shape, with the relations it touches.
+fn shapes() -> Vec<(&'static str, Vec<&'static str>, Plan)> {
+    vec![
+        (
+            "hash_join",
+            vec!["r0", "r1"],
+            Plan::HashJoin { build: scan(0), probe: scan(1) },
+        ),
+        (
+            "deep_probe_chain",
+            vec!["r0", "r1", "r2"],
+            Plan::HashJoin {
+                build: scan(0),
+                probe: Box::new(Plan::HashJoin { build: scan(1), probe: scan(2) }),
+            },
+        ),
+        (
+            "nestloop",
+            vec!["r0", "r1"],
+            Plan::NestLoop { outer: scan(0), inner: iscan(1) },
+        ),
+        (
+            "key_domain_merge",
+            vec!["r0", "r1"],
+            Plan::MergeJoin { left: scan(0), right: scan(1) },
+        ),
+        (
+            "bushy",
+            vec!["r0", "r1", "r2", "r3"],
+            Plan::HashJoin {
+                build: Box::new(Plan::HashJoin { build: scan(0), probe: scan(1) }),
+                probe: Box::new(Plan::MergeJoin { left: iscan(2), right: iscan(3) }),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn all_plan_shapes_agree_across_materialization_paths() {
+    let cat = catalog();
+    for (label, names, plan) in shapes() {
+        let legacy = run_shape(
+            &cat,
+            &names,
+            &plan,
+            ExecConfig::unthrottled().with_data_path(DataPath::GlobalLock),
+            None,
+        )
+        .expect(label);
+        let serial_merge =
+            run_shape(&cat, &names, &plan, ExecConfig::unthrottled(), None).expect(label);
+        // Force the pool-farmed parallel merge even on small outputs and
+        // on single-core hosts (auto fan-out would stay serial there).
+        let mut forced = ExecConfig::unthrottled();
+        forced.parallel_merge_min_rows = 1;
+        forced.parallel_merge_ways = 4;
+        let parallel_merge = run_shape(&cat, &names, &plan, forced, None).expect(label);
+
+        assert!(!legacy.is_empty(), "{label}: vacuous comparison");
+        assert_eq!(legacy, serial_merge, "{label}: serial k-way merge path differs");
+        assert_eq!(legacy, parallel_merge, "{label}: parallel merge path differs");
+    }
+}
+
+/// A worker death mid-build (during the build-side fragment) must not
+/// change either path's result: the patrol reclaims the dead slot's share,
+/// a replacement finishes it, and the materialized output stays identical.
+#[test]
+fn worker_death_mid_build_preserves_results_on_both_paths() {
+    let cat = catalog();
+    let (label, names, plan) = &shapes()[1]; // deep probe chain: two build fragments
+    let fault_free =
+        run_shape(&cat, names, plan, ExecConfig::unthrottled(), None).expect(label);
+    for path in [DataPath::GlobalLock, DataPath::Decontended] {
+        // Fragment 0 is a build side; kill its slot 0 after one unit.
+        let faults = Arc::new(FaultPlan::new().with_worker_death(0, 0, 1));
+        let got = run_shape(
+            &cat,
+            names,
+            plan,
+            ExecConfig::unthrottled().with_data_path(path),
+            Some(faults.clone()),
+        )
+        .unwrap_or_else(|e| panic!("{label} under {path:?}: {e}"));
+        assert_eq!(faults.stats().deaths_fired(), 1, "{path:?}: death must fire");
+        assert_eq!(got, fault_free, "{label} under {path:?}: death changed the result");
+    }
+}
+
+/// Satellite: the merge-indexed probe over an unindexed relation is a
+/// typed [`ExecError::IndexMissing`], not a worker panic.
+#[test]
+fn merge_indexed_over_unindexed_is_a_typed_error() {
+    // `left` is indexed (the KeyScan driver needs it); `right` is not, so
+    // the MergeIndexed pipeline op hits the missing-index path.
+    let mut cat = Catalog::new(StripedLayout::new(4));
+    let mut seed = 0x5EED_u64;
+    for (name, indexed) in [("left", true), ("right", false)] {
+        cat.create(name, Schema::paper_rel());
+        let rows: Vec<Tuple> = (0..200)
+            .map(|_| {
+                let a = (lcg(&mut seed) % 30) as i32;
+                Tuple::from_values(vec![Datum::Int(a), Datum::Text(String::new())])
+            })
+            .collect();
+        cat.load(name, rows);
+        if indexed {
+            cat.build_index(name, false);
+        }
+    }
+    let cat = Arc::new(cat);
+    let plan = Plan::MergeJoin { left: iscan(0), right: iscan(1) };
+    // The planner must *believe* both sides are indexed (or it would refuse
+    // the shape at cost time); the runtime catalog is what disagrees.
+    let rels: Vec<RelInfo> = ["left", "right"]
+        .iter()
+        .map(|n| {
+            let rel = cat.get(n).expect("test relation");
+            let s = rel.stats();
+            RelInfo {
+                n_tuples: s.n_tuples as f64,
+                n_blocks: s.n_blocks as f64,
+                n_distinct: s.n_distinct_a as f64,
+                selectivity: 1.0,
+                has_index: true,
+                clustered: false,
+            }
+        })
+        .collect();
+    let costed = CostModel::paper_default().cost_plan(&plan, &rels);
+    let fragments = decompose(&plan, &costed, 0);
+    let optimized =
+        OptimizedQuery { seqcost: costed.cost.total_cost, parcost: 0.0, plan, fragments };
+    let exec = Executor::new(ExecConfig::unthrottled(), cat.clone());
+    let mut policy = IntraOnly::new(MachineConfig::paper_default(), true);
+    let err = exec
+        .run(&[QueryRun { optimized, bindings: bindings(&["left", "right"]) }], &mut policy)
+        .expect_err("probe over unindexed relation must fail");
+    match err {
+        ExecError::IndexMissing { name, .. } => assert_eq!(name, "right"),
+        other => panic!("expected IndexMissing, got {other:?}"),
+    }
+}

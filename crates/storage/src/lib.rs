@@ -22,6 +22,7 @@ pub mod datum;
 pub mod heap;
 pub mod page;
 pub mod partition;
+pub mod runs;
 pub mod schema;
 pub mod shardpool;
 pub mod tuple;
@@ -33,6 +34,7 @@ pub use datum::Datum;
 pub use heap::HeapFile;
 pub use page::{Page, PAGE_HEADER, PAGE_SIZE};
 pub use partition::{PagePartition, RangePartition};
+pub use runs::{merge_runs, split_runs, CsrIndex};
 pub use schema::{ColumnType, Schema};
 pub use shardpool::ShardedBufferPool;
 pub use tuple::{Tuple, TupleId};

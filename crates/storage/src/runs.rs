@@ -1,0 +1,329 @@
+//! Sorted-run utilities for parallel join materialization.
+//!
+//! A fragment's workers emit **locally sorted runs** (each worker sorts its
+//! output batch before flushing it into the shared sink), so the master
+//! never has to re-sort the whole fragment output: it performs a **stable
+//! k-way merge** of the runs — O(n log k) instead of O(n log n), and the
+//! merge itself can be farmed out to the worker pool by first splitting the
+//! runs at key boundaries ([`split_runs`]) into disjoint, independently
+//! mergeable key sub-ranges.
+//!
+//! On top of the merged (key-sorted) rows sits a [`CsrIndex`]: sorted unique
+//! keys, a CSR-style offsets array, and a positions array, built by one
+//! counting pass. A probe is a binary search (or a cursor-advancing seek for
+//! merge joins) plus a slice borrow — **zero heap allocation per probe**,
+//! unlike the `HashMap<key, Vec<pos>>` it replaces.
+//!
+//! Everything here is generic over the row payload: a row is `(i32, T)`
+//! where the `i32` is the join key.
+
+/// Is `run` sorted by key (ascending, duplicates allowed)?
+pub fn is_sorted_run<T>(run: &[(i32, T)]) -> bool {
+    run.windows(2).all(|w| w[0].0 <= w[1].0)
+}
+
+/// Stable k-way merge of key-sorted runs into one key-sorted vector.
+///
+/// Ties are broken by run index, then by position within the run. This
+/// makes the merge *the* merge step of a stable merge sort: splitting a
+/// vector into consecutive chunks, stably sorting each chunk, and merging
+/// the chunks with this function reproduces a stable sort of the whole
+/// vector element for element. The executor's parity tests lean on exactly
+/// that property.
+///
+/// Implemented as a bottom-up pairwise merge — adjacent runs merge
+/// two-at-a-time, level by level, preferring the left (earlier) run on key
+/// ties. Same O(n log k) comparison bound as a tournament-heap merge, but
+/// the inner loop is a branch-light two-pointer walk over contiguous
+/// memory, which in practice beats both a heap (whose per-element
+/// sift costs dominate at large k — worker sinks produce one small run per
+/// flush batch, so k is in the hundreds) and a full re-sort of the
+/// concatenation.
+///
+/// Rows are moved, never cloned.
+pub fn merge_runs<T>(mut runs: Vec<Vec<(i32, T)>>) -> Vec<(i32, T)> {
+    debug_assert!(runs.iter().all(|r| is_sorted_run(r)), "merge_runs fed an unsorted run");
+    runs.retain(|r| !r.is_empty());
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Stable two-way merge, left run first among equal keys.
+fn merge_two<T>(a: Vec<(i32, T)>, b: Vec<(i32, T)>) -> Vec<(i32, T)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(&(ka, _)), Some(&(kb, _))) => {
+                let src = if ka <= kb { &mut ai } else { &mut bi };
+                out.push(src.next().expect("peeked row"));
+            }
+            (Some(_), None) => {
+                out.extend(ai);
+                return out;
+            }
+            (None, _) => {
+                out.extend(bi);
+                return out;
+            }
+        }
+    }
+}
+
+/// Split key-sorted runs into at most `ways` groups covering disjoint,
+/// ascending key intervals, so each group can be merged independently (and
+/// in parallel) and the merged groups concatenated in order.
+///
+/// Boundaries are chosen from a key sample at the group-size quantiles and
+/// applied with binary search (`partition_point`), so a key group — every
+/// row bearing one key — always lands wholly in one group and the
+/// concatenation of the groups' [`merge_runs`] outputs equals
+/// `merge_runs` of the original runs, tie-breaks included (each group keeps
+/// every run, possibly empty, in the original run order). Rows are moved
+/// via `split_off`, never cloned. Heavily skewed key distributions may
+/// yield fewer (even one) non-trivial groups; callers must not assume
+/// balance.
+pub fn split_runs<T>(runs: Vec<Vec<(i32, T)>>, ways: usize) -> Vec<Vec<Vec<(i32, T)>>> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    if ways <= 1 || total == 0 {
+        return vec![runs];
+    }
+    // Sample keys at regular positions of every run; quantiles of the
+    // sample approximate quantiles of the merged output well enough for
+    // load balancing (exactness is not required for correctness).
+    let mut samples: Vec<i32> = Vec::new();
+    for r in &runs {
+        let take = (ways * 8).min(r.len());
+        for j in 0..take {
+            samples.push(r[j * r.len() / take].0);
+        }
+    }
+    samples.sort_unstable();
+    let mut bounds: Vec<i32> =
+        (1..ways).map(|i| samples[i * samples.len() / ways]).collect();
+    bounds.dedup();
+
+    // Split from the highest bound down: `split_off` copies only the tail
+    // it removes, so taking groups back-to-front moves every row at most
+    // once (and the lowest group never moves at all).
+    let mut groups_rev: Vec<Vec<Vec<(i32, T)>>> = Vec::with_capacity(bounds.len() + 1);
+    let mut rest = runs;
+    for &b in bounds.iter().rev() {
+        // Rows with key >= b split off into this group; `rest` keeps the
+        // head. Equal keys always stay together (strict `<` cut point).
+        let group: Vec<Vec<(i32, T)>> = rest
+            .iter_mut()
+            .map(|run| run.split_off(run.partition_point(|&(k, _)| k < b)))
+            .collect();
+        groups_rev.push(group);
+    }
+    groups_rev.push(rest);
+    groups_rev.reverse();
+    groups_rev
+}
+
+/// A CSR-style (compressed sparse row) index over key-sorted rows: sorted
+/// unique `keys`, an `offsets` array one longer than `keys`, and a
+/// `positions` array of row indices grouped by key — the rows bearing
+/// `keys[i]` are `positions[offsets[i]..offsets[i+1]]`.
+///
+/// Built by a single counting pass over already-sorted rows; probing is a
+/// binary search ([`CsrIndex::lookup`]) or a monotone cursor seek
+/// ([`CsrIndex::seek`]) returning a borrowed slice — no heap allocation
+/// per probe, in contrast to the hash-map-of-vectors it replaces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrIndex {
+    keys: Vec<i32>,
+    offsets: Vec<u32>,
+    positions: Vec<u32>,
+}
+
+impl CsrIndex {
+    /// Build from key-sorted rows in one counting pass.
+    ///
+    /// # Panics
+    /// Panics (debug) if `rows` is not key-sorted, or if it holds more than
+    /// `u32::MAX` rows.
+    pub fn from_sorted<T>(rows: &[(i32, T)]) -> Self {
+        debug_assert!(is_sorted_run(rows), "CSR build over unsorted rows");
+        assert!(rows.len() <= u32::MAX as usize, "CSR index limited to u32 positions");
+        let mut keys = Vec::new();
+        let mut offsets = Vec::new();
+        let mut positions = Vec::with_capacity(rows.len());
+        for (i, &(k, _)) in rows.iter().enumerate() {
+            if keys.last() != Some(&k) {
+                keys.push(k);
+                offsets.push(i as u32); // start of this key's group
+            }
+            positions.push(i as u32);
+        }
+        offsets.push(rows.len() as u32); // end sentinel
+        CsrIndex { keys, offsets, positions }
+    }
+
+    /// Number of distinct keys.
+    pub fn n_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The sorted unique keys.
+    pub fn keys(&self) -> &[i32] {
+        &self.keys
+    }
+
+    /// Row positions bearing `key` (empty if absent): binary search plus a
+    /// slice borrow, zero allocation.
+    pub fn lookup(&self, key: i32) -> &[u32] {
+        let i = self.keys.partition_point(|&k| k < key);
+        self.group(i, key)
+    }
+
+    /// Cursor-based lookup for merge joins: `cursor` is an index into the
+    /// unique-key array that only moves forward while probe keys ascend
+    /// (amortized O(1) per probe over a sorted probe stream). A probe key
+    /// *below* the cursor — possible when a worker's key range is
+    /// re-partitioned mid-run — falls back to a binary re-seek, so the
+    /// result is always exactly [`CsrIndex::lookup`]'s.
+    pub fn seek(&self, key: i32, cursor: &mut usize) -> &[u32] {
+        let n = self.keys.len();
+        let mut i = (*cursor).min(n);
+        if i > 0 && self.keys[i - 1] >= key {
+            // The cursor overshot this probe (key stream regressed).
+            i = self.keys.partition_point(|&k| k < key);
+        } else {
+            while i < n && self.keys[i] < key {
+                i += 1;
+            }
+        }
+        *cursor = i;
+        self.group(i, key)
+    }
+
+    fn group(&self, i: usize, key: i32) -> &[u32] {
+        if i < self.keys.len() && self.keys[i] == key {
+            &self.positions[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(keys: &[i32]) -> Vec<(i32, usize)> {
+        keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+    }
+
+    #[test]
+    fn merge_equals_stable_sort_of_concatenation() {
+        let original = keyed(&[5, 1, 5, -3, 2, 2, 5, 0, -3, 7, 1, 1]);
+        for chunk in [1usize, 2, 3, 5, 12, 20] {
+            let mut runs: Vec<Vec<(i32, usize)>> =
+                original.chunks(chunk).map(|c| c.to_vec()).collect();
+            for r in &mut runs {
+                r.sort_by_key(|&(k, _)| k); // stable
+            }
+            let merged = merge_runs(runs);
+            let mut want = original.clone();
+            want.sort_by_key(|&(k, _)| k); // stable
+            assert_eq!(merged, want, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_and_single_runs() {
+        assert!(merge_runs::<u8>(vec![]).is_empty());
+        assert!(merge_runs::<u8>(vec![vec![], vec![]]).is_empty());
+        let one = vec![(1, 9u8), (4, 2)];
+        assert_eq!(merge_runs(vec![vec![], one.clone(), vec![]]), one);
+    }
+
+    #[test]
+    fn split_then_merge_equals_direct_merge() {
+        let original = keyed(&[9, 3, 3, 8, 1, 1, 1, 6, 2, 9, 9, 0, 5, 4, 4, 7]);
+        let mk = |chunk: usize| -> Vec<Vec<(i32, usize)>> {
+            let mut runs: Vec<Vec<(i32, usize)>> =
+                original.chunks(chunk).map(|c| c.to_vec()).collect();
+            for r in &mut runs {
+                r.sort_by_key(|&(k, _)| k);
+            }
+            runs
+        };
+        let want = merge_runs(mk(3));
+        for ways in [1usize, 2, 3, 4, 8, 32] {
+            let groups = split_runs(mk(3), ways);
+            assert!(groups.len() <= ways.max(1));
+            let mut got = Vec::new();
+            let mut last_hi: Option<i32> = None;
+            for g in groups {
+                let m = merge_runs(g);
+                if let (Some(hi), Some(&(lo, _))) = (last_hi, m.first()) {
+                    assert!(lo > hi, "groups must cover disjoint ascending key ranges");
+                }
+                last_hi = m.last().map(|&(k, _)| k).or(last_hi);
+                got.extend(m);
+            }
+            assert_eq!(got, want, "ways {ways}");
+        }
+    }
+
+    #[test]
+    fn split_keeps_key_groups_whole() {
+        // All rows share one key: every split must put them in one group.
+        let runs = vec![vec![(7, 0), (7, 1)], vec![(7, 2)], vec![(7, 3), (7, 4)]];
+        let groups = split_runs(runs, 4);
+        let sizes: Vec<usize> =
+            groups.iter().map(|g| g.iter().map(Vec::len).sum()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        assert_eq!(sizes.iter().filter(|&&s| s > 0).count(), 1);
+    }
+
+    #[test]
+    fn csr_build_and_lookup() {
+        let rows = vec![(-4, 'a'), (-4, 'b'), (0, 'c'), (3, 'd'), (3, 'e'), (3, 'f'), (9, 'g')];
+        let idx = CsrIndex::from_sorted(&rows);
+        assert_eq!(idx.n_keys(), 4);
+        assert_eq!(idx.keys(), &[-4, 0, 3, 9]);
+        assert_eq!(idx.lookup(-4), &[0, 1]);
+        assert_eq!(idx.lookup(0), &[2]);
+        assert_eq!(idx.lookup(3), &[3, 4, 5]);
+        assert_eq!(idx.lookup(9), &[6]);
+        assert!(idx.lookup(1).is_empty());
+        assert!(idx.lookup(-100).is_empty());
+        assert!(idx.lookup(100).is_empty());
+    }
+
+    #[test]
+    fn csr_empty() {
+        let idx = CsrIndex::from_sorted::<u8>(&[]);
+        assert_eq!(idx.n_keys(), 0);
+        assert!(idx.lookup(0).is_empty());
+        let mut cur = 0;
+        assert!(idx.seek(0, &mut cur).is_empty());
+    }
+
+    #[test]
+    fn csr_seek_matches_lookup_on_any_probe_order() {
+        let rows = vec![(1, ()), (1, ()), (2, ()), (5, ()), (5, ()), (8, ())];
+        let idx = CsrIndex::from_sorted(&rows);
+        // Ascending, repeated, and regressing probes all agree with lookup.
+        let probes = [0, 1, 1, 2, 3, 5, 8, 9, 5, 1, 8, -2, 2];
+        let mut cur = 0usize;
+        for &p in &probes {
+            assert_eq!(idx.seek(p, &mut cur), idx.lookup(p), "probe {p}");
+        }
+    }
+}

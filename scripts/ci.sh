@@ -6,8 +6,9 @@
 #
 #   ./scripts/ci.sh
 #
-# The bench step writes BENCH_executor.json at the repo root; the recorded
-# numbers live in docs/results/executor_datapath.md.
+# The bench steps write BENCH_executor.json and BENCH_join.json at the repo
+# root; the recorded numbers live in docs/results/executor_datapath.md and
+# docs/results/join_datapath.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +31,24 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> bench_executor (writes BENCH_executor.json)"
 ./target/release/bench_executor BENCH_executor.json
+
+echo "==> bench_join (writes BENCH_join.json)"
+./target/release/bench_join BENCH_join.json
+# The JSON must parse, and the rebuilt materialization path (sorted worker
+# runs -> k-way merge -> CSR index) must not be slower than the legacy
+# serial-sort/hash-build path at 8 workers.
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_join.json") as f:
+    r = json.load(f)
+speedup = r["speedup_parallel_merge_vs_hash_build_at_8_workers"]
+configs = r["configs"]
+assert len(configs) == 8, f"expected 8 configs, got {len(configs)}"
+assert all(c["materialized_tuples_per_sec"] > 0 for c in configs)
+if speedup < 1.0:
+    sys.exit(f"join data-path regression: speedup at 8 workers {speedup} < 1.0")
+print(f"bench_join OK: speedup at 8 workers = {speedup}x")
+EOF
 
 echo "==> chaos (fault-injection suite, fixed seeds, debug + release)"
 # The workspace legs above already run the chaos tests under proptest's
