@@ -142,6 +142,18 @@ pub mod exec_scan {
     /// where the seed's per-slot thread staffing pays and the persistent
     /// pool does not.
     pub fn run(cat: &Arc<Catalog>, workers: u32, path: DataPath, n_queries: usize) -> ScanRun {
+        run_with_obs(cat, workers, path, n_queries, false)
+    }
+
+    /// [`run`], with hot-path metrics collection on or off — the A/B the
+    /// observability overhead gate (`bench_obs`, CI `obs` leg) measures.
+    pub fn run_with_obs(
+        cat: &Arc<Catalog>,
+        workers: u32,
+        path: DataPath,
+        n_queries: usize,
+        obs: bool,
+    ) -> ScanRun {
         let relation_tuples = cat.get("scan_src").expect("bench relation").stats().n_tuples;
         let q = Query::selection("scan_src", 1.0);
         let optimized = TwoPhaseOptimizer::paper_default().optimize_catalog(cat, &q, Costing::SeqCost);
@@ -149,7 +161,11 @@ pub mod exec_scan {
         let runs: Vec<QueryRun> = (0..n_queries)
             .map(|_| QueryRun { optimized: optimized.clone(), bindings: bindings.clone() })
             .collect();
-        let exec = Executor::new(config(path), cat.clone());
+        let mut cfg = config(path);
+        if obs {
+            cfg = cfg.with_obs();
+        }
+        let exec = Executor::new(cfg, cat.clone());
         let mut policy = FixedParallelism::new(MachineConfig::paper_default(), workers);
         let t0 = Instant::now();
         let report = exec.run(&runs, &mut policy).expect("bench scan failed");
@@ -158,19 +174,135 @@ pub mod exec_scan {
             report.fragment_times.iter().map(|&(_, s, _)| s).fold(f64::INFINITY, f64::min);
         let last_finish =
             report.fragment_times.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
-        let pool = &report.pool_shards;
-        let (hits, misses) = pool
-            .iter()
-            .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
         ScanRun {
             tuples: relation_tuples * n_queries as u64,
             emitted: report.results.iter().map(|r| r.rows.rows.len() as u64).sum(),
             wall,
             scan_wall: last_finish - first_start,
-            hit_rate: if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 },
+            // Bypass-aware: a fetch refused under pin pressure is a real
+            // page read the pool failed to serve, not a non-event.
+            hit_rate: report.stats.pool.hit_rate(),
             pool_threads: report.pool_threads,
             pool_jobs: report.pool_jobs,
         }
+    }
+}
+
+/// Shared scenario for the utilization audit: two IO-heavy scans co-run
+/// under a throttled (scaled-time) machine, so the §2.2–2.3 predictions
+/// about paired disk bandwidth are *measurable* — the audit compares the
+/// request rate the disks actually served inside the pairing window
+/// against the `[Br, Bs]` band and the seek-corrected
+/// `B = Br + (1 − ratio)(Bs − Br)`.
+pub mod exec_obs {
+    use std::path::Path;
+    use std::sync::Arc;
+
+    use xprs_disk::StripedLayout;
+    use xprs_executor::{ExecConfig, ExecReport, Executor, QueryRun, RelBinding, UtilizationAudit};
+    use xprs_optimizer::{Costing, Query, TwoPhaseOptimizer};
+    use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
+    use xprs_scheduler::{MachineConfig, TaskProfile};
+    use xprs_storage::{Catalog, Datum, Schema, Tuple};
+
+    /// A policy that starts **every** arrived task immediately with a fixed
+    /// worker count and never adjusts: with two single-fragment queries it
+    /// manufactures exactly one long §2.2 pairing window, which is what the
+    /// audit needs. ([`super::FixedParallelism`] runs fragments one at a
+    /// time and can never produce a paired window.)
+    pub struct CoRun {
+        machine: MachineConfig,
+        workers: u32,
+        pending: Vec<TaskProfile>,
+    }
+
+    impl CoRun {
+        /// A policy for `machine` starting every fragment with `workers`
+        /// workers the moment it becomes runnable.
+        pub fn new(machine: MachineConfig, workers: u32) -> Self {
+            assert!(workers >= 1);
+            CoRun { machine, workers, pending: Vec::new() }
+        }
+    }
+
+    impl SchedulePolicy for CoRun {
+        fn name(&self) -> &'static str {
+            "co-run"
+        }
+
+        fn machine(&self) -> &MachineConfig {
+            &self.machine
+        }
+
+        fn on_arrival(&mut self, _now: f64, task: TaskProfile) {
+            self.pending.push(task);
+        }
+
+        fn on_finish(&mut self, _now: f64, _id: xprs_scheduler::TaskId) {}
+
+        fn decide(&mut self, _now: f64, _running: &[RunningTask]) -> Vec<Action> {
+            self.pending
+                .drain(..)
+                .map(|t| Action::Start { id: t.id, parallelism: self.workers as f64 })
+                .collect()
+        }
+    }
+
+    /// Two relations of `tuples_each` fat (800-byte) rows — ~10 tuples per
+    /// page, both striped over all four disks, so two concurrent scans
+    /// interleave on every spindle and the §2.3 seek interference is real.
+    pub fn catalog(tuples_each: u64) -> Arc<Catalog> {
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        let mut seed = 0x0BDA_u64;
+        for name in ["pair_a", "pair_b"] {
+            cat.create(name, Schema::paper_rel());
+            let rows: Vec<Tuple> = (0..tuples_each)
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let a = ((seed >> 33) % 1000) as i32;
+                    Tuple::from_values(vec![Datum::Int(a), Datum::Text("x".repeat(800))])
+                })
+                .collect();
+            cat.load(name, rows);
+        }
+        Arc::new(cat)
+    }
+
+    /// Co-run one full scan of each relation with `workers` workers per
+    /// scan at time scale `scale`, metrics enabled; optionally dump
+    /// `metrics.json`. Returns the report and its utilization audit.
+    pub fn run(
+        cat: &Arc<Catalog>,
+        workers: u32,
+        scale: f64,
+        metrics_out: Option<&Path>,
+    ) -> (ExecReport, UtilizationAudit) {
+        let optimizer = TwoPhaseOptimizer::paper_default();
+        let runs: Vec<QueryRun> = ["pair_a", "pair_b"]
+            .iter()
+            .map(|name| {
+                let q = Query::selection(name, 1.0);
+                QueryRun {
+                    optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost),
+                    bindings: vec![RelBinding {
+                        name: (*name).into(),
+                        pred: (i32::MIN, i32::MAX),
+                    }],
+                }
+            })
+            .collect();
+        let mut cfg = ExecConfig::scaled(1.0 / scale).with_obs();
+        // A pool that cannot cache either scan: every page read is a disk
+        // request, as in the paper's larger-than-memory workloads.
+        cfg.bufpool_pages = 64;
+        if let Some(path) = metrics_out {
+            cfg = cfg.with_metrics_out(path);
+        }
+        let exec = Executor::new(cfg, cat.clone());
+        let mut policy = CoRun::new(MachineConfig::paper_default(), workers);
+        let report = exec.run(&runs, &mut policy).expect("audit run failed");
+        let audit = report.utilization_audit();
+        (report, audit)
     }
 }
 

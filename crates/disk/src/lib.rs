@@ -28,5 +28,5 @@ pub mod stripe;
 
 pub use array::{ArrayStats, DiskArrayModel};
 pub use fault::{FaultDomain, FaultPlan, FaultStats, WorkerFaultKind};
-pub use model::{DiskParams, DiskState, IoRequest, RelId, ServiceClass, WorkerId};
+pub use model::{ClassStats, DiskParams, DiskState, IoRequest, RelId, ServiceClass, WorkerId};
 pub use stripe::StripedLayout;

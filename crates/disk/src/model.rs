@@ -245,6 +245,13 @@ impl DiskState {
         self.counts.iter().sum()
     }
 
+    /// Point-in-time copy of the per-class accounting, for metrics export
+    /// and windowed utilization audits (diff two snapshots to isolate what
+    /// one pairing window did to this disk).
+    pub fn class_stats(&self) -> ClassStats {
+        ClassStats { counts: self.counts, busy: self.busy }
+    }
+
     /// Forget the head position and zero the statistics (fresh run).
     pub fn reset(&mut self) {
         self.streams.clear();
@@ -260,6 +267,61 @@ fn class_index(c: ServiceClass) -> usize {
         ServiceClass::Sequential => 0,
         ServiceClass::AlmostSequential => 1,
         ServiceClass::Random => 2,
+    }
+}
+
+/// Plain-old-data snapshot of one disk's per-class request counts and busy
+/// seconds, indexed `[sequential, almost_sequential, random]`. Supports
+/// window diffs: subtract the snapshot taken at a window's start from the
+/// one at its end and the delta is the traffic inside the window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassStats {
+    /// Requests served, by service class.
+    pub counts: [u64; 3],
+    /// Busy seconds, by service class.
+    pub busy: [f64; 3],
+}
+
+impl ClassStats {
+    /// Count for `class`.
+    pub fn count_of(&self, class: ServiceClass) -> u64 {
+        self.counts[class_index(class)]
+    }
+
+    /// Busy seconds for `class`.
+    pub fn busy_of(&self, class: ServiceClass) -> f64 {
+        self.busy[class_index(class)]
+    }
+
+    /// Total requests across classes.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total busy seconds across classes.
+    pub fn total_busy(&self) -> f64 {
+        self.busy.iter().sum()
+    }
+
+    /// What happened since `earlier` (saturating; a mismatched pair
+    /// degrades to zeros rather than nonsense).
+    pub fn diff(&self, earlier: &ClassStats) -> ClassStats {
+        let mut out = ClassStats::default();
+        for i in 0..3 {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+            out.busy[i] = (self.busy[i] - earlier.busy[i]).max(0.0);
+        }
+        out
+    }
+
+    /// Element-wise sum (e.g. to aggregate an array of disks).
+    pub fn merged(&self, other: &ClassStats) -> ClassStats {
+        let mut out = *self;
+        for i in 0..3 {
+            out.counts[i] += other.counts[i];
+            out.busy[i] += other.busy[i];
+        }
+        out
     }
 }
 
@@ -433,6 +495,23 @@ mod tests {
         assert_eq!(d.busy_time(), 0.0);
         let (c, _) = d.serve(&req(1, 2, 0));
         assert_eq!(c, ServiceClass::Random);
+    }
+
+    #[test]
+    fn class_stats_snapshot_diff_and_merge() {
+        let mut d = disk();
+        d.serve(&req(1, 0, 0)); // random (cold)
+        let edge = d.class_stats();
+        d.serve(&req(1, 1, 0)); // sequential
+        d.serve(&req(1, 2, 1)); // almost-seq
+        let now = d.class_stats();
+        assert_eq!(now.total_count(), d.total_count());
+        assert!((now.total_busy() - d.busy_time()).abs() < 1e-12);
+        let window = now.diff(&edge);
+        assert_eq!(window.counts, [1, 1, 0]);
+        assert!((window.busy_of(ServiceClass::Sequential) - 1.0 / 97.0).abs() < 1e-12);
+        let doubled = window.merged(&window);
+        assert_eq!(doubled.total_count(), 4);
     }
 
     #[test]

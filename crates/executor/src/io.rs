@@ -22,12 +22,15 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use xprs_disk::{ArrayStats, DiskParams, DiskState, FaultPlan, IoRequest, RelId, ServiceClass, StripedLayout, WorkerId};
+use xprs_disk::{ArrayStats, ClassStats, DiskParams, DiskState, FaultPlan, IoRequest, RelId, ServiceClass, StripedLayout, WorkerId};
+use xprs_obs::TimeSum;
 use xprs_scheduler::MachineConfig;
 use xprs_storage::bufpool::FetchOutcome;
 use xprs_storage::{PoolStats, ShardedBufferPool};
+
+use crate::obs::ExecMetrics;
 
 /// Lock acquisition that shrugs off poisoning: the guarded state is
 /// bookkeeping (disk head positions, counters), and a worker panic is
@@ -60,6 +63,16 @@ impl CpuGate {
         }
         *free -= 1;
         CpuPermit { gate: self }
+    }
+
+    /// Acquire one processor only if one is free right now.
+    pub fn try_acquire(&self) -> Option<CpuPermit<'_>> {
+        let mut free = lock(&self.inner);
+        if *free == 0 {
+            return None;
+        }
+        *free -= 1;
+        Some(CpuPermit { gate: self })
     }
 
     /// Total permits.
@@ -140,6 +153,13 @@ pub struct Machine {
     scale: f64,
     /// Injected fault schedule (`None` in fault-free operation).
     faults: Option<Arc<FaultPlan>>,
+    /// Hot-path metric registry; `None` (the default) keeps the
+    /// instrumented sites down to one branch each.
+    metrics: Option<Arc<ExecMetrics>>,
+    /// Simulated CPU seconds consumed through [`Machine::compute`]. Always
+    /// on — one relaxed add per (already batched) compute call — so the
+    /// utilization audit works even with detailed metrics disabled.
+    cpu_busy: TimeSum,
     reads: AtomicU64,
     worker_ids: AtomicU64,
 }
@@ -176,6 +196,8 @@ impl Machine {
             pool: (pool_pages > 0).then(|| ShardedBufferPool::new(pool_pages, shards)),
             scale,
             faults: None,
+            metrics: None,
+            cpu_busy: TimeSum::new(),
             reads: AtomicU64::new(0),
             worker_ids: AtomicU64::new(0),
         }
@@ -192,6 +214,39 @@ impl Machine {
     /// The attached fault schedule, if any.
     pub(crate) fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.faults.as_ref()
+    }
+
+    /// Attach a hot-path metric registry; the machine then records gate
+    /// waits, retries and faults into it.
+    pub fn with_metrics(mut self, metrics: Arc<ExecMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metric registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<ExecMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Simulated CPU seconds consumed so far.
+    pub fn cpu_busy_secs(&self) -> f64 {
+        self.cpu_busy.secs()
+    }
+
+    /// Per-disk per-class request counts and busy time, indexed by disk.
+    pub fn disk_class_stats(&self) -> Vec<ClassStats> {
+        self.disks.iter().map(|d| lock(d).class_stats()).collect()
+    }
+
+    /// [`Machine::disk_class_stats`] merged over the whole array — the
+    /// cumulative counters the utilization audit samples at pairing-window
+    /// edges.
+    pub fn disk_class_total(&self) -> ClassStats {
+        let mut total = ClassStats::default();
+        for d in &self.disks {
+            total = total.merged(&lock(d).class_stats());
+        }
+        total
     }
 
     /// The striping layout.
@@ -288,9 +343,19 @@ impl Machine {
                 outcome = Ok(Some(class));
                 break;
             }
-            if self.scale > 0.0 && attempt + 1 < READ_ATTEMPTS {
-                let backoff = RETRY_BACKOFF * f64::from(1u32 << attempt);
-                std::thread::sleep(Duration::from_secs_f64(backoff * self.scale));
+            if attempt + 1 < READ_ATTEMPTS {
+                if let Some(m) = &self.metrics {
+                    m.io_retries.inc();
+                }
+                if self.scale > 0.0 {
+                    let backoff = RETRY_BACKOFF * f64::from(1u32 << attempt);
+                    std::thread::sleep(Duration::from_secs_f64(backoff * self.scale));
+                }
+            }
+        }
+        if outcome.is_err() {
+            if let Some(m) = &self.metrics {
+                m.io_faults.inc();
             }
         }
         if pinned_miss {
@@ -306,11 +371,37 @@ impl Machine {
     }
 
     /// Burn `seconds` of simulated CPU while holding a processor permit.
+    /// With metrics attached, the time spent *waiting* for the permit is
+    /// recorded — the measured cost of staffing more workers than `N`.
     pub fn compute(&self, seconds: f64) {
-        let _permit = self.cpu.acquire();
+        let _permit = match &self.metrics {
+            // Clock reads only on the contended path: an uncontended grant
+            // *is* a zero wait, and charging two `Instant::now`s per compute
+            // call to learn that would make measurement the thing measured.
+            Some(m) => match self.cpu.try_acquire() {
+                Some(permit) => {
+                    m.gate_wait_ns.observe(0);
+                    permit
+                }
+                None => {
+                    let waited = Instant::now();
+                    let permit = self.cpu.acquire();
+                    m.gate_wait_ns.observe(waited.elapsed().as_nanos() as u64);
+                    permit
+                }
+            },
+            None => self.cpu.acquire(),
+        };
+        self.cpu_busy.add_secs(seconds);
         if self.scale > 0.0 && seconds > 0.0 {
             std::thread::sleep(Duration::from_secs_f64(seconds * self.scale));
         }
+    }
+
+    /// Total page reads issued so far (cheaper than a full [`Self::stats`]
+    /// snapshot; the auditor samples this at every scheduling decision).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Statistics so far.
@@ -386,6 +477,35 @@ mod tests {
             crate::master::join_worker(h, 0).expect("gate worker must not panic");
         }
         assert!(peak.load(Ordering::SeqCst) <= 2, "gate leaked permits");
+    }
+
+    /// Deterministic shard exhaustion: a one-frame, one-shard pool and a
+    /// scaled service time long enough that the second reader arrives while
+    /// the first still pins the only frame. The refused fetch must surface
+    /// in the stats — `hits + misses + bypasses == reads` even under pin
+    /// pressure, where the old ledger silently dropped the read.
+    #[test]
+    fn exhausted_shard_counts_the_bypass_and_keeps_the_ledger() {
+        let cfg = MachineConfig::paper_default();
+        let m = Arc::new(Machine::with_sharded_pool(&cfg, 6.0, 1, 1));
+        let first = {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let w = m.new_worker_id();
+                // Cold random read ≈ 28.6 ms simulated → ≈ 170 ms wall: the
+                // frame stays pinned for the whole service.
+                m.read(RelId(1), 0, w, false);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(40));
+        let w = m.new_worker_id();
+        m.read(RelId(1), 4, w, false); // only shard is fully pinned → bypass
+        crate::master::join_worker(first, 0).expect("reader must not panic");
+        let s = m.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.pool.bypasses, 1, "the refused fetch must be counted");
+        assert_eq!(s.pool.hits + s.pool.misses + s.pool.bypasses, s.reads);
+        assert!(s.pool.hit_rate() < 0.5, "a bypass must price into the hit rate");
     }
 
     #[test]
@@ -557,6 +677,37 @@ mod tests {
             busy(&healthy)
         );
         assert_eq!(plan.stats().slow_requests(), 10);
+    }
+
+    #[test]
+    fn metrics_record_retries_faults_gate_waits_and_cpu_busy() {
+        let plan = Arc::new(
+            FaultPlan::new()
+                .with_read_error(RelId(1), 0, READ_ATTEMPTS - 1) // absorbed
+                .with_read_error(RelId(1), 1, READ_ATTEMPTS), // escalates
+        );
+        let metrics = Arc::new(crate::obs::ExecMetrics::default());
+        let m = machine(0.0).with_faults(plan).with_metrics(metrics.clone());
+        let w = m.new_worker_id();
+        assert!(m.try_read(RelId(1), 0, w, true).is_ok());
+        assert!(m.try_read(RelId(1), 1, w, true).is_err());
+        // Block 0: 2 faulted attempts, both retried. Block 1: 3 faulted
+        // attempts, the first 2 retried, then the typed fault.
+        assert_eq!(metrics.io_retries.get(), u64::from(2 * (READ_ATTEMPTS - 1)));
+        assert_eq!(metrics.io_faults.get(), 1);
+        m.compute(0.5);
+        m.compute(0.25);
+        assert_eq!(metrics.gate_wait_ns.snapshot().count, 2);
+        assert!((m.cpu_busy_secs() - 0.75).abs() < 1e-9);
+        // Per-disk class stats merge to the array totals.
+        let per_disk = m.disk_class_stats();
+        assert_eq!(per_disk.len(), 4);
+        let total = m.disk_class_total();
+        assert_eq!(total.total_count(), m.stats().disk.total());
+        assert_eq!(
+            per_disk.iter().map(xprs_disk::ClassStats::total_count).sum::<u64>(),
+            total.total_count()
+        );
     }
 
     #[test]

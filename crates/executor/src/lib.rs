@@ -27,9 +27,14 @@
 //! * [`pool`] — the persistent slave-backend thread pool: parallelism
 //!   adjustments park and unpark long-lived threads instead of spawning and
 //!   joining OS threads per slot.
+//! * [`obs`] — measured utilization: hot-path metrics (gate waits, I/O
+//!   retries, merge shape), per-query fragment profiles, and the pairing-
+//!   window audit that checks the measured disk bandwidth against §2.2–2.3's
+//!   predictions. Rendered as `metrics.json` by `ExecReport::metrics_json`.
 
 pub mod io;
 pub mod master;
+pub mod obs;
 pub mod pool;
 pub mod program;
 pub mod worker;
@@ -37,6 +42,9 @@ pub mod worker;
 pub use io::{CpuGate, IoFault, Machine, MachineStats, READ_ATTEMPTS};
 pub use master::{
     join_worker, DataPath, ExecConfig, ExecError, ExecReport, Executor, QueryResult, QueryRun,
+};
+pub use obs::{
+    ExecMetrics, FragmentProfile, MergeProfile, QueryProfile, UtilSample, UtilizationAudit,
 };
 pub use pool::WorkerPool;
 pub use program::{compile, FragmentProgram, KeyIndex, Matches, Materialized, PipelineOp, ProgramSet};

@@ -11,12 +11,13 @@
 //! joined per slot.
 
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use xprs_disk::FaultPlan;
+use xprs_disk::{ClassStats, FaultPlan};
 use xprs_optimizer::OptimizedQuery;
 use xprs_scheduler::error::SchedError;
 use xprs_scheduler::fluid::FIXPOINT_ROUNDS;
@@ -28,6 +29,7 @@ use xprs_storage::runs::{merge_runs, split_runs};
 use xprs_storage::{Catalog, Tuple};
 
 use crate::io::{lock, IoFault, Machine, MachineStats};
+use crate::obs::{ExecMetrics, FragmentProfile, MergeProfile, QueryProfile, RunningInfo, UtilSample};
 use crate::pool::WorkerPool;
 use crate::program::{compile, Driver, Materialized};
 use crate::worker::{run_worker, FragCtx, OutputSink, PartitionState, RelBinding};
@@ -105,6 +107,14 @@ pub struct ExecConfig {
     /// concurrency to buy. Tests set an explicit fan-out to exercise the
     /// pool-farmed path deterministically on any host.
     pub parallel_merge_ways: usize,
+    /// Collect detailed hot-path metrics ([`ExecMetrics`]: gate-wait
+    /// histogram, I/O retry/fault counters, merge shape). Off by default;
+    /// the cold-path profile (pool shards, per-disk class stats, fragment
+    /// profiles, the utilization audit) is collected regardless.
+    pub obs: bool,
+    /// Write [`ExecReport::metrics_json`] to this path after a successful
+    /// run. Implies `obs`.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl ExecConfig {
@@ -127,6 +137,8 @@ impl ExecConfig {
             recal_min_requests: 64,
             parallel_merge_min_rows: 4096,
             parallel_merge_ways: 0,
+            obs: false,
+            metrics_out: None,
         }
     }
 
@@ -150,6 +162,20 @@ impl ExecConfig {
         if self.patrol_ms == 0 {
             self.patrol_ms = 5;
         }
+        self
+    }
+
+    /// Enable detailed hot-path metrics collection.
+    pub fn with_obs(mut self) -> Self {
+        self.obs = true;
+        self
+    }
+
+    /// Write `metrics.json` to `path` after each successful run (enables
+    /// detailed metrics).
+    pub fn with_metrics_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_out = Some(path.into());
+        self.obs = true;
         self
     }
 
@@ -258,6 +284,26 @@ pub enum ExecError {
         /// The producer whose output is missing.
         producer: usize,
     },
+    /// The compiler's fragment decomposition disagrees with the
+    /// optimizer's — different fragment counts or different dependency
+    /// edges. Formerly a documented panic; now the run refuses to start
+    /// and hands back both sides' per-fragment dependency lists.
+    PlanMismatch {
+        /// Query index in the submitted batch.
+        query: usize,
+        /// Sorted producer indices per compiled fragment program.
+        compiled: Vec<Vec<usize>>,
+        /// Sorted producer indices per optimizer DAG fragment.
+        optimized: Vec<Vec<usize>>,
+    },
+    /// `ExecConfig::metrics_out` was set but `metrics.json` could not be
+    /// written. The run itself completed.
+    MetricsDump {
+        /// Destination path.
+        path: String,
+        /// Rendered I/O error.
+        error: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -292,6 +338,16 @@ impl std::fmt::Display for ExecError {
                     f,
                     "fragment {fragment} started before producer {producer} materialized"
                 )
+            }
+            ExecError::PlanMismatch { query, compiled, optimized } => {
+                write!(
+                    f,
+                    "query {query}: compiled fragment dependencies {compiled:?} disagree with \
+                     the optimizer's decomposition {optimized:?}"
+                )
+            }
+            ExecError::MetricsDump { path, error } => {
+                write!(f, "could not write metrics to {path}: {error}")
             }
         }
     }
@@ -404,6 +460,28 @@ pub struct ExecReport {
     /// Times the observed I/O rate drifted outside the tolerance band and
     /// the policy was re-entered with a corrected machine model.
     pub recalibrations: u64,
+    /// The machine model the run was configured with.
+    pub machine: MachineConfig,
+    /// Wall seconds per simulated second the run was throttled to.
+    pub scale: f64,
+    /// Per-disk per-class request counts and busy time, indexed by disk.
+    pub disk_classes: Vec<ClassStats>,
+    /// Simulated CPU seconds consumed across all workers.
+    pub cpu_busy: f64,
+    /// Per-query fragment profiles, in submission order.
+    pub profiles: Vec<QueryProfile>,
+    /// Cumulative machine counters sampled at every scheduling decision;
+    /// consecutive samples bracket the pairing windows the utilization
+    /// audit measures.
+    pub samples: Vec<UtilSample>,
+    /// Parallelism adjustments applied across all fragments.
+    pub adjusts: u64,
+    /// Heartbeat ticks recorded across all fragments.
+    pub heartbeats: u64,
+    /// Quiet patrol ticks the master ran (dead-worker sweep + drift check).
+    pub patrol_ticks: u64,
+    /// The hot-path metric registry, when `ExecConfig::obs` was on.
+    pub metrics: Option<Arc<ExecMetrics>>,
 }
 
 enum FragStatus {
@@ -427,6 +505,12 @@ struct FragSlot {
     output: Option<Arc<Materialized>>,
     started_at: f64,
     finished_at: f64,
+    /// Completion-time captures for the fragment's profile.
+    units: u64,
+    staffed: u64,
+    heartbeats: u64,
+    adjusts: u64,
+    merge: MergeProfile,
 }
 
 /// The multi-threaded XPRS executor.
@@ -452,15 +536,13 @@ impl Executor {
     ///
     /// # Errors
     /// Returns [`ExecError`] if a worker panics, the completion channel
-    /// dies, a fragment references an unknown relation, or the policy
-    /// misbehaves (wedges, diverges, double-starts or double-completes a
-    /// fragment, references an unknown task). Remaining workers are drained
-    /// (not abandoned) first, and the report fields that survive — the
-    /// completion counts — ride along on the error.
-    ///
-    /// # Panics
-    /// Panics if a compiled program disagrees with the optimizer's fragment
-    /// decomposition (a compiler bug, not a policy failure).
+    /// dies, a fragment references an unknown relation, a compiled program
+    /// disagrees with the optimizer's fragment decomposition
+    /// ([`ExecError::PlanMismatch`] — the run refuses to start), or the
+    /// policy misbehaves (wedges, diverges, double-starts or
+    /// double-completes a fragment, references an unknown task). Remaining
+    /// workers are drained (not abandoned) first, and the report fields
+    /// that survive — the completion counts — ride along on the error.
     pub fn run(
         &self,
         queries: &[QueryRun],
@@ -474,6 +556,11 @@ impl Executor {
         );
         if let Some(plan) = &self.cfg.faults {
             machine = machine.with_faults(plan.clone());
+        }
+        let metrics = (self.cfg.obs || self.cfg.metrics_out.is_some())
+            .then(|| Arc::new(ExecMetrics::default()));
+        if let Some(m) = &metrics {
+            machine = machine.with_metrics(m.clone());
         }
         let machine = Arc::new(machine);
         let pool = WorkerPool::new(match self.cfg.data_path {
@@ -489,19 +576,29 @@ impl Executor {
         for (qi, q) in queries.iter().enumerate() {
             let ps = compile(&q.optimized.plan);
             let fs = &q.optimized.fragments;
-            assert_eq!(
-                ps.programs.len(),
-                fs.fragments.len(),
-                "query {qi}: compiled programs disagree with the fragment decomposition"
-            );
+            // Compiler/optimizer agreement is checked up front: the same
+            // sorted per-fragment dependency lists on both sides. Formerly
+            // an assert — but a mismatched plan arrives from outside this
+            // crate (hand-built OptimizedQuery, version skew), so it is a
+            // typed refusal, not a master panic.
+            let sorted = |mut d: Vec<usize>| {
+                d.sort_unstable();
+                d
+            };
+            let compiled: Vec<Vec<usize>> =
+                ps.programs.iter().map(|p| sorted(p.deps.clone())).collect();
+            let optimized: Vec<Vec<usize>> = (0..fs.fragments.len())
+                .map(|fi| sorted(fs.dag.deps_of(fi).to_vec()))
+                .collect();
+            if compiled != optimized {
+                let err = ExecError::PlanMismatch { query: qi, compiled, optimized };
+                emit(&self.sink, || TraceRecord::Error { now: 0.0, message: err.to_string() });
+                backends.shutdown();
+                return Err(err);
+            }
             let base = frags.len();
             let n = ps.programs.len();
             for (fi, program) in ps.programs.into_iter().enumerate() {
-                let mut a = program.deps.clone();
-                let mut b = fs.dag.deps_of(fi).to_vec();
-                a.sort_unstable();
-                b.sort_unstable();
-                assert_eq!(a, b, "query {qi} fragment {fi}: dependency mismatch");
                 let mut profile = fs.fragments[fi].profile.clone();
                 profile.id = TaskId((qi as u64) << 32 | fi as u64);
                 frags.push(FragSlot {
@@ -516,6 +613,11 @@ impl Executor {
                     output: None,
                     started_at: 0.0,
                     finished_at: 0.0,
+                    units: 0,
+                    staffed: 0,
+                    heartbeats: 0,
+                    adjusts: 0,
+                    merge: MergeProfile::default(),
                 });
             }
         }
@@ -547,21 +649,36 @@ impl Executor {
             emit(&self.sink, || TraceRecord::Arrival { now: t, profile: profile.clone() });
             policy.on_arrival(t, f.profile.clone());
         }
+        // Utilization samples bracket every window during which the set of
+        // running fragments — the pairing — was constant: one sample after
+        // each applied decision, one at run end.
+        let mut samples: Vec<UtilSample> = Vec::new();
         if let Err(e) = self.decide(policy, &mut frags, &machine, &tx, &backends, t0) {
             return Err(fail(e, done_count, now(t0), &frags, &backends));
         }
         if let Err(e) = wedge_check(policy, &frags, done_count) {
             return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
         }
+        samples.push(util_sample(now(t0), &frags, &machine));
 
         let mut patrol = Patrol::new(&self.cfg, machine.observed_service());
+        // The patrol runs on a *deadline*, not only on quiet ticks: under a
+        // continuous message stream `recv_timeout` never times out, and the
+        // old quiet-tick-only patrol starved — a dead worker stayed dead as
+        // long as chatty sibling fragments kept the channel busy.
+        let patrol_interval =
+            (self.cfg.patrol_ms > 0).then(|| Duration::from_millis(self.cfg.patrol_ms));
+        let mut patrol_deadline = patrol_interval.map(|d| Instant::now() + d);
+        let mut patrol_ticks = 0u64;
 
         while done_count < frags.len() {
-            let msg = match next_msg(&rx, self.cfg.patrol_ms) {
+            let msg = match next_msg(&rx, patrol_deadline) {
                 Ok(Some(msg)) => msg,
                 Ok(None) => {
                     // Patrol tick: reap dead workers, then check whether the
                     // observed I/O rate has drifted out of the model's band.
+                    patrol_deadline = patrol_interval.map(|d| Instant::now() + d);
+                    patrol_ticks += 1;
                     patrol.reap(&frags, &backends, &machine, &self.catalog);
                     if let Some(corrected) = patrol.recalibrate(&machine) {
                         let t = now(t0);
@@ -585,6 +702,7 @@ impl Executor {
                         if let Err(e) = wedge_check(policy, &frags, done_count) {
                             return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
                         }
+                        samples.push(util_sample(now(t0), &frags, &machine));
                     }
                     continue;
                 }
@@ -620,7 +738,13 @@ impl Executor {
                     return Err(fail(e.into(), done_count, t_done, &frags, &backends));
                 }
             };
-            frags[gid].output = Some(Arc::new(self.materialize(&ctx, &backends)));
+            frags[gid].units = ctx.units_done.load(Ordering::SeqCst);
+            frags[gid].staffed = ctx.staffed.load(Ordering::Relaxed);
+            frags[gid].heartbeats =
+                lock(&ctx.heartbeats).iter().map(|b| b.load(Ordering::Relaxed)).sum();
+            let (rows, merge) = self.materialize(&ctx, &backends, &machine);
+            frags[gid].merge = merge;
+            frags[gid].output = Some(Arc::new(rows));
             frags[gid].finished_at = t_done;
             done_count += 1;
             emit(&self.sink, || TraceRecord::Finish { now: t_done, task: finished });
@@ -646,11 +770,13 @@ impl Executor {
             if let Err(e) = wedge_check(policy, &frags, done_count) {
                 return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
             }
+            samples.push(util_sample(now(t0), &frags, &machine));
         }
 
         backends.shutdown();
 
         let wall = now(t0);
+        samples.push(util_sample(wall, &frags, &machine));
         let mut results = Vec::with_capacity(queries.len());
         for qi in 0..queries.len() {
             let root = frags
@@ -660,7 +786,32 @@ impl Executor {
             let rows = root.output.clone().ok_or(ExecError::OutputMissing { query: qi })?;
             results.push(QueryResult { rows, finished_at: root.finished_at });
         }
-        Ok(ExecReport {
+        let profiles: Vec<QueryProfile> = results
+            .iter()
+            .enumerate()
+            .map(|(qi, r)| QueryProfile {
+                query: qi,
+                finished_at: r.finished_at,
+                rows: r.rows.rows.len() as u64,
+                fragments: frags
+                    .iter()
+                    .filter(|f| f.query == qi)
+                    .map(|f| FragmentProfile {
+                        task: f.profile.id,
+                        query: qi,
+                        is_root: f.is_root,
+                        started_at: f.started_at,
+                        finished_at: f.finished_at,
+                        units: f.units,
+                        staffed: f.staffed,
+                        adjusts: f.adjusts,
+                        heartbeats: f.heartbeats,
+                        merge: f.merge,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let report = ExecReport {
             results,
             stats: machine.stats(),
             pool_shards: machine.pool_shard_stats(),
@@ -673,7 +824,23 @@ impl Executor {
             pool_jobs: backends.staffed.load(Ordering::Relaxed),
             worker_recoveries: patrol.recoveries,
             recalibrations: patrol.recalibrations,
-        })
+            machine: self.cfg.machine.clone(),
+            scale: self.cfg.scale,
+            disk_classes: machine.disk_class_stats(),
+            cpu_busy: machine.cpu_busy_secs(),
+            adjusts: frags.iter().map(|f| f.adjusts).sum(),
+            heartbeats: frags.iter().map(|f| f.heartbeats).sum(),
+            patrol_ticks,
+            profiles,
+            samples,
+            metrics,
+        };
+        if let Some(path) = &self.cfg.metrics_out {
+            std::fs::write(path, report.metrics_json()).map_err(|e| {
+                ExecError::MetricsDump { path: path.display().to_string(), error: e.to_string() }
+            })?;
+        }
+        Ok(report)
     }
 
     /// Fragment-barrier materialization.
@@ -688,17 +855,43 @@ impl Executor {
     /// [`DataPath::GlobalLock`] reproduces the seed: flat harvest, full
     /// O(n log n) re-sort, and a per-key `HashMap<i32, Vec<usize>>` built
     /// one entry at a time.
-    fn materialize(&self, ctx: &FragCtx, backends: &Backends<'_>) -> Materialized {
+    fn materialize(
+        &self,
+        ctx: &FragCtx,
+        backends: &Backends<'_>,
+        machine: &Machine,
+    ) -> (Materialized, MergeProfile) {
         match self.cfg.data_path {
-            DataPath::GlobalLock => Materialized::build(ctx.out.harvest()),
+            DataPath::GlobalLock => {
+                let rows = ctx.out.harvest();
+                let profile = MergeProfile {
+                    runs: 1,
+                    rows: rows.len() as u64,
+                    ways: 1,
+                    parallel: false,
+                };
+                (Materialized::build(rows), profile)
+            }
             DataPath::Decontended => {
                 let runs = ctx.out.harvest_runs();
                 let total: usize = runs.iter().map(Vec::len).sum();
+                if let Some(m) = machine.metrics() {
+                    m.merge_runs.observe(runs.len() as u64);
+                    for r in &runs {
+                        m.merge_run_rows.observe(r.len() as u64);
+                    }
+                }
                 let ways = if self.cfg.parallel_merge_ways == 0 {
                     (self.cfg.machine.n_procs as usize)
                         .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
                 } else {
                     self.cfg.parallel_merge_ways
+                };
+                let mut profile = MergeProfile {
+                    runs: runs.len() as u64,
+                    rows: total as u64,
+                    ways: 1,
+                    parallel: false,
                 };
                 if !backends.use_pool
                     || ways <= 1
@@ -707,7 +900,15 @@ impl Executor {
                 {
                     // ≤ 1 run needs no merge at all — splitting it across
                     // the pool would be pure copy overhead.
-                    return Materialized::from_runs(runs);
+                    if let Some(m) = machine.metrics() {
+                        m.merge_fanout.observe(1);
+                    }
+                    return (Materialized::from_runs(runs), profile);
+                }
+                profile.ways = ways as u64;
+                profile.parallel = true;
+                if let Some(m) = machine.metrics() {
+                    m.merge_fanout.observe(ways as u64);
                 }
                 let tasks: Vec<MergeTask> = split_runs(runs, ways)
                     .into_iter()
@@ -717,7 +918,7 @@ impl Executor {
                 for part in backends.pool.scatter_gather(tasks) {
                     rows.extend(part);
                 }
-                Materialized::from_sorted_rows(rows)
+                (Materialized::from_sorted_rows(rows), profile)
             }
         }
     }
@@ -861,6 +1062,7 @@ impl Executor {
             units_done: AtomicU64::new(0),
             total_units,
             outstanding: AtomicU32::new(0),
+            staffed: AtomicU64::new(0),
             out: OutputSink::default(),
             target_parallelism: AtomicU32::new(x),
             done: AtomicBool::new(false),
@@ -895,11 +1097,14 @@ impl Executor {
         machine: &Arc<Machine>,
         backends: &Backends<'_>,
     ) {
-        let FragStatus::Running(ctx) = &frags[gid].status else {
+        let ctx = match &frags[gid].status {
+            FragStatus::Running(ctx) => ctx.clone(),
             // The fragment finished in the window between the snapshot and
             // this action; the adjustment is moot.
-            return;
+            _ => return,
         };
+        let ctx = &ctx;
+        frags[gid].adjusts += 1;
         let x = to_workers(parallelism, self.cfg.machine.n_procs);
         ctx.target_parallelism.store(x, Ordering::Relaxed);
         let (info, active) = {
@@ -954,6 +1159,7 @@ impl<'a> Backends<'a> {
     /// in a panic report, and always balances with [`FragCtx::worker_exit`].
     fn staff(&self, ctx: &Arc<FragCtx>, slot: usize, machine: &Arc<Machine>, catalog: &Arc<Catalog>) {
         self.staffed.fetch_add(1, Ordering::Relaxed);
+        ctx.staffed.fetch_add(1, Ordering::Relaxed);
         // Register the slot's heartbeat before the worker can run, so the
         // patrol tracks it from staffing time (a job stuck in the pool
         // queue is indistinguishable from a dead worker — reclaiming it is
@@ -1001,13 +1207,25 @@ impl<'a> Backends<'a> {
 }
 
 /// Receive the next worker message. With a patrol interval configured,
-/// `Ok(None)` marks a quiet tick on which the patrol should run; without
-/// one this blocks exactly like the fault-free master always did.
-fn next_msg(rx: &Receiver<MasterMsg>, patrol_ms: u64) -> Result<Option<MasterMsg>, ()> {
-    if patrol_ms == 0 {
+/// `Ok(None)` marks a patrol tick; without one this blocks exactly like
+/// the fault-free master always did.
+///
+/// The patrol is **deadline-based**, not quiet-tick-based: the caller
+/// passes the absolute instant the next patrol is due, and once
+/// `Instant::now()` passes it this returns `Ok(None)` even when messages
+/// keep arriving. The earlier `recv_timeout(patrol_ms)` form restarted
+/// its timer on every message, so a chatty fragment flooding the master
+/// channel could starve the patrol forever and a dead sibling's worker
+/// was never reaped.
+fn next_msg(rx: &Receiver<MasterMsg>, deadline: Option<Instant>) -> Result<Option<MasterMsg>, ()> {
+    let Some(deadline) = deadline else {
         return rx.recv().map(Some).map_err(|_| ());
+    };
+    let now = Instant::now();
+    if now >= deadline {
+        return Ok(None);
     }
-    match rx.recv_timeout(Duration::from_millis(patrol_ms)) {
+    match rx.recv_timeout(deadline - now) {
         Ok(msg) => Ok(Some(msg)),
         Err(RecvTimeoutError::Timeout) => Ok(None),
         Err(RecvTimeoutError::Disconnected) => Err(()),
@@ -1190,6 +1408,32 @@ fn wedge_check(
     Ok(())
 }
 
+/// Snapshot the machine's cumulative counters plus the set of running
+/// fragments at a scheduling decision. Consecutive samples bracket a
+/// *pairing window* — the interval over which a fixed task mix ran — so
+/// the [`crate::obs`] auditor can compare measured disk bandwidth and
+/// utilization against the §2.2–2.3 predictions for that mix.
+fn util_sample(now: f64, frags: &[FragSlot], machine: &Machine) -> UtilSample {
+    let running = frags
+        .iter()
+        .filter_map(|f| match &f.status {
+            FragStatus::Running(ctx) => Some(RunningInfo {
+                task: f.profile.id,
+                workers: ctx.target_parallelism.load(Ordering::Relaxed),
+                profile: f.profile.clone(),
+            }),
+            _ => None,
+        })
+        .collect();
+    UtilSample {
+        now,
+        running,
+        disk: machine.disk_class_total(),
+        cpu_busy: machine.cpu_busy_secs(),
+        reads: machine.reads(),
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -1228,6 +1472,47 @@ fn to_workers(x: f64, n_procs: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The patrol-starvation regression: a sender flooding the channel
+    /// faster than the patrol interval must NOT postpone the patrol tick.
+    /// The old `recv_timeout(patrol_ms)` restarted its timer on every
+    /// message, so `Ok(None)` never surfaced under continuous load; the
+    /// deadline form returns it as soon as the deadline passes.
+    #[test]
+    fn patrol_deadline_fires_under_a_continuous_message_flood() {
+        let (tx, rx) = channel::<MasterMsg>();
+        let stop = Arc::new(AtomicU32::new(0));
+        let flooder = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Relaxed) == 0 {
+                    if tx.send(MasterMsg::FragmentDone(usize::MAX)).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            })
+        };
+        let deadline = Some(Instant::now() + Duration::from_millis(20));
+        let mut messages = 0u64;
+        let mut patrolled = false;
+        // Far more iterations than messages can arrive in 20ms; the loop
+        // exits via the deadline, not by draining the flood.
+        for _ in 0..200_000 {
+            match next_msg(&rx, deadline) {
+                Ok(Some(_)) => messages += 1,
+                Ok(None) => {
+                    patrolled = true;
+                    break;
+                }
+                Err(()) => panic!("flooder hung up early"),
+            }
+        }
+        stop.store(1, Ordering::Relaxed);
+        flooder.join().unwrap();
+        assert!(patrolled, "patrol deadline starved by a chatty channel");
+        assert!(messages >= 1, "flood never actually reached the master");
+    }
 
     #[test]
     fn duplicate_completion_is_a_typed_error_not_a_panic() {

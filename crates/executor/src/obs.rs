@@ -1,0 +1,516 @@
+//! Executor observability: measured — not modeled — utilization.
+//!
+//! The paper's §2.2–2.3 claims are quantitative: pairing an IO-bound with a
+//! CPU-bound fragment at the balance point keeps *both* the processors and
+//! the disk array saturated, and two interleaved sequential streams degrade
+//! the array's bandwidth to `B = Br + (1 − ratio)(Bs − Br)`. The executor
+//! previously only *modeled* these effects; this module measures them:
+//!
+//! * [`ExecMetrics`] — the hot-path registry ([`xprs_obs::Counter`] /
+//!   [`xprs_obs::Histogram`]) the [`Machine`](crate::io::Machine) records
+//!   into when metrics are enabled (`ExecConfig::obs`). Disabled collection
+//!   is an `Option` branch — ~zero cost.
+//! * [`UtilSample`] — cumulative machine counters captured by the master at
+//!   every scheduling decision; consecutive samples bracket *pairing
+//!   windows* during which the set of running fragments was constant.
+//! * [`UtilizationAudit`] — per-window measured disk bandwidth, disk
+//!   utilization and CPU utilization, compared against the §2.3 corrected
+//!   bandwidth prediction for the fragments that were actually co-running,
+//!   with the `[Br, Bs]` band the measurement must land in when the array
+//!   is saturated by a paired window.
+//! * `ExecReport::metrics_json` — the whole report (pool shards, per-disk
+//!   per-class service time, event counters, merge shape, per-query
+//!   fragment profiles, the audit) rendered as one JSON document, validated
+//!   by `scripts/ci.sh`'s `obs` leg.
+
+use xprs_disk::{ClassStats, ServiceClass};
+use xprs_obs::json::{fnum, jstr};
+use xprs_obs::{Counter, Histogram};
+use xprs_scheduler::balance::effective_bandwidth;
+use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
+
+use crate::master::ExecReport;
+
+/// Hot-path metric registry, shared as `Option<Arc<ExecMetrics>>` by the
+/// machine and every worker. All members are lock-free; `None` (the
+/// default) costs one branch per instrumented site.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Wall nanoseconds each CPU-gate acquisition waited before getting a
+    /// processor permit — the measured cost of over-staffing the machine.
+    pub gate_wait_ns: Histogram,
+    /// Read attempts that failed on an injected transient error and were
+    /// retried (each retry re-occupies the disk for a full service time).
+    pub io_retries: Counter,
+    /// Reads that exhausted every retry and escalated to a typed
+    /// [`IoFault`](crate::io::IoFault).
+    pub io_faults: Counter,
+    /// Fan-out (concurrent key sub-ranges) of each pool-parallel merge; a
+    /// sample of 1 is a serial merge on the master.
+    pub merge_fanout: Histogram,
+    /// Sorted worker runs entering each fragment materialization.
+    pub merge_runs: Histogram,
+    /// Rows per sorted worker run (the shape `split_runs` has to balance).
+    pub merge_run_rows: Histogram,
+}
+
+/// How one fragment's output was materialized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeProfile {
+    /// Sorted worker runs harvested (1 flat batch on the legacy path).
+    pub runs: u64,
+    /// Rows materialized.
+    pub rows: u64,
+    /// Merge fan-out actually used (1 = serial merge).
+    pub ways: u64,
+    /// Whether the merge was farmed to the worker pool.
+    pub parallel: bool,
+}
+
+/// What one fragment did, captured at its completion.
+#[derive(Debug, Clone)]
+pub struct FragmentProfile {
+    /// The fragment's scheduler task id.
+    pub task: TaskId,
+    /// Query index in the submitted batch.
+    pub query: usize,
+    /// Whether this fragment produced the query's final output.
+    pub is_root: bool,
+    /// Wall seconds from run start to fragment start / finish.
+    pub started_at: f64,
+    /// Wall seconds from run start to fragment finish.
+    pub finished_at: f64,
+    /// Work units (pages or keys) the fragment completed.
+    pub units: u64,
+    /// Worker jobs staffed over the fragment's life (initial staffing,
+    /// adjustment growth, patrol replacements).
+    pub staffed: u64,
+    /// Parallelism adjustments applied while running.
+    pub adjusts: u64,
+    /// Heartbeat ticks its workers recorded (startup + one per unit).
+    pub heartbeats: u64,
+    /// How its output was materialized.
+    pub merge: MergeProfile,
+}
+
+/// Per-query rollup of [`FragmentProfile`]s, in submission order.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Query index in the submitted batch.
+    pub query: usize,
+    /// Wall seconds from run start to the root fragment's completion.
+    pub finished_at: f64,
+    /// Rows the root fragment materialized.
+    pub rows: u64,
+    /// The query's fragments, in fragment order.
+    pub fragments: Vec<FragmentProfile>,
+}
+
+/// One fragment observed running at a sample instant.
+#[derive(Debug, Clone)]
+pub struct RunningInfo {
+    /// The fragment's scheduler task id.
+    pub task: TaskId,
+    /// Workers currently assigned.
+    pub workers: u32,
+    /// The fragment's cost profile (rates feed the §2.3 prediction).
+    pub profile: TaskProfile,
+}
+
+/// Cumulative machine counters at one instant. Taken by the master after
+/// every scheduling decision, so consecutive samples bracket windows during
+/// which the running set — the *pairing* — was constant.
+#[derive(Debug, Clone)]
+pub struct UtilSample {
+    /// Wall seconds since run start.
+    pub now: f64,
+    /// Fragments running (with applied parallelism) at this instant.
+    pub running: Vec<RunningInfo>,
+    /// Per-class disk requests and busy time, merged over the array.
+    pub disk: ClassStats,
+    /// Simulated CPU seconds consumed so far.
+    pub cpu_busy: f64,
+    /// Page reads issued so far (pool hits included).
+    pub reads: u64,
+}
+
+/// One pairing window of the audit: what ran, what the array measurably
+/// delivered, and what §2.2–2.3 predicted it would.
+#[derive(Debug, Clone)]
+pub struct AuditWindow {
+    /// Window start/end, wall seconds since run start.
+    pub t0: f64,
+    /// Window end.
+    pub t1: f64,
+    /// `(task, workers)` for each fragment running through the window.
+    pub tasks: Vec<(TaskId, u32)>,
+    /// ≥ 2 fragments co-ran: an inter-operation pairing window.
+    pub paired: bool,
+    /// Disk requests served inside the window.
+    pub requests: u64,
+    /// Measured aggregate disk bandwidth (simulated I/Os per simulated
+    /// second) inside the window.
+    pub measured_bw: f64,
+    /// Fraction of the window the disks were busy (1.0 = saturated array).
+    pub disk_util: f64,
+    /// Fraction of the window the processors were busy.
+    pub cpu_util: f64,
+    /// §2.3's corrected effective bandwidth for the window's demand mix:
+    /// `B = Br + (1 − ratio)(Bs − Br)` for two sequential streams.
+    pub predicted_bw: f64,
+}
+
+/// Audit over all pairing windows of a run.
+#[derive(Debug, Clone)]
+pub struct UtilizationAudit {
+    /// `Br`: the array's aggregate random bandwidth (the band floor).
+    pub band_lo: f64,
+    /// `Bs`: the aggregate (almost-)sequential bandwidth (the band ceiling).
+    pub band_hi: f64,
+    /// All windows with nonzero wall span, in time order.
+    pub windows: Vec<AuditWindow>,
+    /// Aggregate measured bandwidth over paired windows (weighted by
+    /// simulated time), `0.0` when no paired window carried traffic.
+    pub paired_bw: f64,
+    /// Requests served inside paired windows.
+    pub paired_requests: u64,
+    /// Time-weighted mean disk utilization over paired windows.
+    pub paired_disk_util: f64,
+    /// Time-weighted mean CPU utilization over paired windows.
+    pub paired_cpu_util: f64,
+    /// Whether `paired_bw` landed inside `[Br, Bs]` (5% slack per side for
+    /// timing jitter). Meaningless — `false` — without paired traffic.
+    pub paired_in_band: bool,
+}
+
+/// Minimum disk requests before a window's bandwidth estimate is trusted in
+/// the paired aggregate (tiny windows measure scheduling noise).
+const AUDIT_MIN_REQUESTS: u64 = 16;
+
+/// Band slack for [`UtilizationAudit::paired_in_band`]: scaled-time sleeps
+/// round up to OS timer granularity, so measurements sit a few percent off
+/// the ideal band edges.
+const BAND_SLACK: f64 = 0.05;
+
+/// Compute the audit from a run's samples. `scale` is wall seconds per
+/// simulated second; with `scale == 0` (unthrottled) there is no simulated
+/// clock to measure against, so the audit reports the band and no windows.
+pub fn audit_samples(samples: &[UtilSample], machine: &MachineConfig, scale: f64) -> UtilizationAudit {
+    let band_lo = machine.total_random_bandwidth();
+    let band_hi = machine.total_bandwidth();
+    let mut audit = UtilizationAudit {
+        band_lo,
+        band_hi,
+        windows: Vec::new(),
+        paired_bw: 0.0,
+        paired_requests: 0,
+        paired_disk_util: 0.0,
+        paired_cpu_util: 0.0,
+        paired_in_band: false,
+    };
+    if scale <= 0.0 {
+        return audit;
+    }
+    let (mut paired_req, mut paired_sim) = (0u64, 0.0f64);
+    let (mut paired_busy, mut paired_cpu) = (0.0f64, 0.0f64);
+    for pair in samples.windows(2) {
+        let (s0, s1) = (&pair[0], &pair[1]);
+        let wall_dt = s1.now - s0.now;
+        if wall_dt <= 1e-9 {
+            continue;
+        }
+        let sim_dt = wall_dt / scale;
+        let disk = s1.disk.diff(&s0.disk);
+        let requests = disk.total_count();
+        let demands: Vec<(f64, xprs_scheduler::IoKind)> = s0
+            .running
+            .iter()
+            .map(|r| (r.profile.io_rate * f64::from(r.workers), r.profile.io_kind))
+            .collect();
+        let w = AuditWindow {
+            t0: s0.now,
+            t1: s1.now,
+            tasks: s0.running.iter().map(|r| (r.task, r.workers)).collect(),
+            paired: s0.running.len() >= 2,
+            requests,
+            measured_bw: requests as f64 / sim_dt,
+            disk_util: disk.total_busy() / (f64::from(machine.n_disks) * sim_dt),
+            cpu_util: (s1.cpu_busy - s0.cpu_busy).max(0.0) / (f64::from(machine.n_procs) * sim_dt),
+            predicted_bw: effective_bandwidth(machine, &demands),
+        };
+        if w.paired && requests >= AUDIT_MIN_REQUESTS {
+            paired_req += requests;
+            paired_sim += sim_dt;
+            paired_busy += w.disk_util * sim_dt;
+            paired_cpu += w.cpu_util * sim_dt;
+        }
+        audit.windows.push(w);
+    }
+    if paired_sim > 0.0 {
+        audit.paired_bw = paired_req as f64 / paired_sim;
+        audit.paired_requests = paired_req;
+        audit.paired_disk_util = paired_busy / paired_sim;
+        audit.paired_cpu_util = paired_cpu / paired_sim;
+        audit.paired_in_band = audit.paired_bw >= band_lo * (1.0 - BAND_SLACK)
+            && audit.paired_bw <= band_hi * (1.0 + BAND_SLACK);
+    }
+    audit
+}
+
+fn machine_json(m: &MachineConfig) -> String {
+    format!(
+        "{{\"n_procs\":{},\"n_disks\":{},\"seq_bw\":{},\"almost_seq_bw\":{},\"random_bw\":{}}}",
+        m.n_procs,
+        m.n_disks,
+        fnum(m.seq_bw),
+        fnum(m.almost_seq_bw),
+        fnum(m.random_bw)
+    )
+}
+
+fn class_stats_json(c: &ClassStats) -> String {
+    let field = |class: ServiceClass| {
+        format!("{{\"count\":{},\"busy\":{}}}", c.count_of(class), fnum(c.busy_of(class)))
+    };
+    format!(
+        "{{\"sequential\":{},\"almost_sequential\":{},\"random\":{}}}",
+        field(ServiceClass::Sequential),
+        field(ServiceClass::AlmostSequential),
+        field(ServiceClass::Random)
+    )
+}
+
+fn merge_json(m: &MergeProfile) -> String {
+    format!(
+        "{{\"runs\":{},\"rows\":{},\"ways\":{},\"parallel\":{}}}",
+        m.runs, m.rows, m.ways, m.parallel
+    )
+}
+
+fn audit_json(a: &UtilizationAudit) -> String {
+    let windows: Vec<String> = a
+        .windows
+        .iter()
+        .map(|w| {
+            let tasks: Vec<String> =
+                w.tasks.iter().map(|(t, x)| format!("[{},{}]", t.0, x)).collect();
+            format!(
+                "{{\"t0\":{},\"t1\":{},\"tasks\":[{}],\"paired\":{},\"requests\":{},\
+                 \"measured_bw\":{},\"disk_util\":{},\"cpu_util\":{},\"predicted_bw\":{}}}",
+                fnum(w.t0),
+                fnum(w.t1),
+                tasks.join(","),
+                w.paired,
+                w.requests,
+                fnum(w.measured_bw),
+                fnum(w.disk_util),
+                fnum(w.cpu_util),
+                fnum(w.predicted_bw)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"band\":[{},{}],\"paired_bw\":{},\"paired_requests\":{},\"paired_disk_util\":{},\
+         \"paired_cpu_util\":{},\"paired_in_band\":{},\"windows\":[{}]}}",
+        fnum(a.band_lo),
+        fnum(a.band_hi),
+        fnum(a.paired_bw),
+        a.paired_requests,
+        fnum(a.paired_disk_util),
+        fnum(a.paired_cpu_util),
+        a.paired_in_band,
+        windows.join(",")
+    )
+}
+
+impl ExecReport {
+    /// The run's utilization audit, computed from the pairing-window
+    /// samples the master collected.
+    pub fn utilization_audit(&self) -> UtilizationAudit {
+        audit_samples(&self.samples, &self.machine, self.scale)
+    }
+
+    /// Render the whole report as one JSON document (`metrics.json`).
+    ///
+    /// Always available — the structural counters (pool shards, per-disk
+    /// class stats, fragment profiles, the audit) are collected on cold
+    /// paths regardless of `ExecConfig::obs`; the hot-path sections
+    /// (`gate_wait_ns`, `io`, `merge_hist`) are `null` when metrics were
+    /// disabled.
+    pub fn metrics_json(&self) -> String {
+        let pool_total = self.stats.pool;
+        let shards: Vec<String> = self
+            .pool_shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bypasses\":{}}}",
+                    s.hits, s.misses, s.evictions, s.bypasses
+                )
+            })
+            .collect();
+        let disks: Vec<String> = self.disk_classes.iter().map(class_stats_json).collect();
+        let queries: Vec<String> = self
+            .profiles
+            .iter()
+            .map(|q| {
+                let frags: Vec<String> = q
+                    .fragments
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{{\"task\":{},\"is_root\":{},\"started_at\":{},\"finished_at\":{},\
+                             \"units\":{},\"staffed\":{},\"adjusts\":{},\"heartbeats\":{},\
+                             \"merge\":{}}}",
+                            f.task.0,
+                            f.is_root,
+                            fnum(f.started_at),
+                            fnum(f.finished_at),
+                            f.units,
+                            f.staffed,
+                            f.adjusts,
+                            f.heartbeats,
+                            merge_json(&f.merge)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"query\":{},\"finished_at\":{},\"rows\":{},\"fragments\":[{}]}}",
+                    q.query,
+                    fnum(q.finished_at),
+                    q.rows,
+                    frags.join(",")
+                )
+            })
+            .collect();
+        let (gate, io, merge_hist) = match &self.metrics {
+            Some(m) => (
+                m.gate_wait_ns.snapshot().to_json(),
+                format!(
+                    "{{\"retries\":{},\"faults\":{}}}",
+                    m.io_retries.get(),
+                    m.io_faults.get()
+                ),
+                format!(
+                    "{{\"fanout\":{},\"runs\":{},\"run_rows\":{}}}",
+                    m.merge_fanout.snapshot().to_json(),
+                    m.merge_runs.snapshot().to_json(),
+                    m.merge_run_rows.snapshot().to_json()
+                ),
+            ),
+            None => ("null".to_string(), "null".to_string(), "null".to_string()),
+        };
+        format!(
+            "{{\"schema\":{},\"machine\":{},\"scale\":{},\"wall\":{},\"reads\":{},\
+             \"cpu_busy\":{},\
+             \"pool\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bypasses\":{},\
+             \"fetches\":{},\"hit_rate\":{},\"shards\":[{}]}},\
+             \"disks\":[{}],\
+             \"events\":{{\"staffed\":{},\"adjusts\":{},\"heartbeats\":{},\"patrol_ticks\":{},\
+             \"recoveries\":{},\"recalibrations\":{},\"pool_threads\":{}}},\
+             \"gate_wait_ns\":{},\"io\":{},\"merge\":{},\
+             \"queries\":[{}],\"utilization_audit\":{}}}",
+            jstr("xprs-metrics/1"),
+            machine_json(&self.machine),
+            fnum(self.scale),
+            fnum(self.wall),
+            self.stats.reads,
+            fnum(self.cpu_busy),
+            pool_total.hits,
+            pool_total.misses,
+            pool_total.evictions,
+            pool_total.bypasses,
+            pool_total.fetches(),
+            fnum(pool_total.hit_rate()),
+            shards.join(","),
+            disks.join(","),
+            self.pool_jobs,
+            self.adjusts,
+            self.heartbeats,
+            self.patrol_ticks,
+            self.worker_recoveries,
+            self.recalibrations,
+            self.pool_threads,
+            gate,
+            io,
+            merge_hist,
+            queries.join(","),
+            audit_json(&self.utilization_audit())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xprs_scheduler::IoKind;
+
+    fn prof(id: u64, io_rate: f64) -> TaskProfile {
+        TaskProfile::new(TaskId(id), 10.0, io_rate, IoKind::Sequential)
+    }
+
+    fn sample(now: f64, running: Vec<RunningInfo>, reqs: u64, busy: f64, cpu: f64) -> UtilSample {
+        UtilSample {
+            now,
+            running,
+            disk: ClassStats { counts: [0, reqs, 0], busy: [0.0, busy, 0.0] },
+            cpu_busy: cpu,
+            reads: reqs,
+        }
+    }
+
+    #[test]
+    fn audit_is_empty_without_a_time_scale() {
+        let m = MachineConfig::paper_default();
+        let s = vec![sample(0.0, vec![], 0, 0.0, 0.0), sample(1.0, vec![], 100, 0.5, 0.5)];
+        let a = audit_samples(&s, &m, 0.0);
+        assert!(a.windows.is_empty());
+        assert_eq!(a.band_lo, 140.0);
+        assert_eq!(a.band_hi, 240.0);
+    }
+
+    #[test]
+    fn paired_window_bandwidth_and_utilization() {
+        let m = MachineConfig::paper_default();
+        // scale 0.1: a 1-second wall window is 10 simulated seconds.
+        // 1800 requests / 10 s = 180 io/s — inside [140, 240]. Disks busy
+        // 38 of the 40 disk-seconds, CPU busy 40 of 80 proc-seconds.
+        let running = vec![
+            RunningInfo { task: TaskId(1), workers: 3, profile: prof(1, 60.0) },
+            RunningInfo { task: TaskId(2), workers: 5, profile: prof(2, 10.0) },
+        ];
+        let s = vec![
+            sample(0.0, running, 0, 0.0, 0.0),
+            sample(1.0, vec![], 1800, 38.0, 40.0),
+        ];
+        let a = audit_samples(&s, &m, 0.1);
+        assert_eq!(a.windows.len(), 1);
+        let w = &a.windows[0];
+        assert!(w.paired);
+        assert!((w.measured_bw - 180.0).abs() < 1e-9);
+        assert!((w.disk_util - 0.95).abs() < 1e-9);
+        assert!((w.cpu_util - 0.5).abs() < 1e-9);
+        // Two sequential streams at demands 180 vs 50: §2.3 interpolates
+        // strictly inside the band.
+        assert!(w.predicted_bw > 140.0 && w.predicted_bw < 240.0);
+        assert!((a.paired_bw - 180.0).abs() < 1e-9);
+        assert!(a.paired_in_band);
+    }
+
+    #[test]
+    fn solo_and_empty_windows_stay_out_of_the_paired_aggregate() {
+        let m = MachineConfig::paper_default();
+        let solo = vec![RunningInfo { task: TaskId(1), workers: 8, profile: prof(1, 60.0) }];
+        let s = vec![
+            sample(0.0, solo, 0, 0.0, 0.0),
+            sample(1.0, vec![], 3000, 39.0, 10.0),
+        ];
+        let a = audit_samples(&s, &m, 0.1);
+        assert_eq!(a.windows.len(), 1);
+        assert!(!a.windows[0].paired);
+        assert_eq!(a.paired_requests, 0);
+        assert!(!a.paired_in_band);
+        // Solo sequential stream: §2.3 predicts the full band ceiling.
+        assert_eq!(a.windows[0].predicted_bw, 240.0);
+    }
+}

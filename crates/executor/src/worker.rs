@@ -163,6 +163,9 @@ pub(crate) struct FragCtx {
     /// Worker jobs staffed but not yet exited (incremented by the master at
     /// submit time, decremented by each worker after its final flush).
     pub outstanding: AtomicU32,
+    /// Worker jobs staffed over the fragment's whole life (never
+    /// decremented); feeds the per-fragment staffing profile.
+    pub staffed: AtomicU64,
     /// Result rows.
     pub out: OutputSink,
     /// Current target parallelism (for the solo-stream I/O flag).

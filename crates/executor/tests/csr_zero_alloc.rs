@@ -62,34 +62,46 @@ fn csr_probes_do_not_allocate() {
     // Measured window: many probes — hits, misses, plain and cursored —
     // with full iteration of every match. `sum` into a stack integer so
     // the loop body itself is allocation-free too.
-    let mut checksum = 0i64;
-    let before = ALLOCS.load(Ordering::SeqCst);
-    for round in 0..100 {
-        for key in -8i32..520 {
-            for t in mat.matches(key) {
-                if let Datum::Int(v) = t.get(0) {
-                    checksum += *v as i64;
+    //
+    // The counter is process-wide, so the libtest harness thread can leak a
+    // stray allocation into a window under load. A probe-path allocation
+    // would repeat in *every* window (~5M probes each), so retrying and
+    // accepting one clean window keeps the assertion sound while shedding
+    // harness noise.
+    let mut min_allocs = u64::MAX;
+    for _attempt in 0..5 {
+        let mut checksum = 0i64;
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for round in 0..100 {
+            for key in -8i32..520 {
+                for t in mat.matches(key) {
+                    if let Datum::Int(v) = t.get(0) {
+                        checksum += *v as i64;
+                    }
                 }
             }
-        }
-        // Monotone sweep through the cursor path (the MergeWith shape).
-        let mut cursor = 0usize;
-        for key in -8i32..520 {
-            for t in mat.matches_from(key, &mut cursor) {
-                if let Datum::Int(v) = t.get(0) {
-                    checksum -= *v as i64;
+            // Monotone sweep through the cursor path (the MergeWith shape).
+            let mut cursor = 0usize;
+            for key in -8i32..520 {
+                for t in mat.matches_from(key, &mut cursor) {
+                    if let Datum::Int(v) = t.get(0) {
+                        checksum -= *v as i64;
+                    }
                 }
             }
+            let _ = round;
         }
-        let _ = round;
-    }
-    let after = ALLOCS.load(Ordering::SeqCst);
+        let after = ALLOCS.load(Ordering::SeqCst);
 
-    assert_eq!(checksum, 0, "plain and cursored probes must visit the same rows");
+        assert_eq!(checksum, 0, "plain and cursored probes must visit the same rows");
+        min_allocs = min_allocs.min(after - before);
+        if min_allocs == 0 {
+            break;
+        }
+    }
+
     assert_eq!(
-        after - before,
-        0,
-        "CSR probe path allocated {} times over the measured window",
-        after - before
+        min_allocs, 0,
+        "CSR probe path allocated {min_allocs} times in every measured window"
     );
 }

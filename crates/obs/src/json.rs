@@ -1,0 +1,330 @@
+//! The workspace's hand-rolled JSON: one encoder convention and one minimal
+//! parser, shared by the scheduler's trace layer, the executor's
+//! `metrics.json`, and the bench/CI validation paths. The build is offline
+//! (no serde), so keeping a single implementation here is what makes every
+//! producer and consumer agree on the corner cases (float round-trips,
+//! infinities, NaN).
+
+/// Render a float as a JSON token that round-trips through [`str::parse`]:
+/// finite values use Rust's shortest-exact `Display`, infinities saturate
+/// (`±1e400` parses back to `±inf`), `NaN` becomes `null`.
+pub fn fnum(x: f64) -> String {
+    if x.is_nan() {
+        "null".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 { "1e400".to_string() } else { "-1e400".to_string() }
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Quote and escape a string for embedding in JSON.
+pub fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value. Numbers are `f64` (matching the encoder, which only
+/// ever emits values that round-trip); object fields keep source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Field `key` of an object (None for other variants or missing keys).
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value; `null` reads as NaN (the encoder writes NaN as null).
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// String contents.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Array elements.
+    pub fn arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn boolean(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON value from `s` (leading whitespace allowed; trailing
+/// garbage after the value is rejected).
+///
+/// # Errors
+/// A human-readable description with the byte offset of the first problem.
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Parse a prefix of `s` as one JSON value, ignoring anything after it —
+/// the lenient variant trace-replay uses for JSONL lines.
+pub fn parse_prefix(s: &str) -> Result<JsonValue, String> {
+    Parser::new(s).value()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected literal {lit}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("utf8"))?;
+        tok.parse::<f64>().map(JsonValue::Num).map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                    .map_err(|_| self.err("utf8 in \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unmodified).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("utf8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnum_round_trips_specials() {
+        assert_eq!(fnum(f64::NAN), "null");
+        assert_eq!(fnum(f64::INFINITY), "1e400");
+        assert_eq!(fnum(f64::NEG_INFINITY), "-1e400");
+        assert_eq!(fnum(0.1), "0.1");
+        let back: f64 = fnum(f64::INFINITY).parse().unwrap();
+        assert!(back.is_infinite() && back > 0.0);
+    }
+
+    #[test]
+    fn jstr_escapes() {
+        assert_eq!(jstr("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(jstr("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_an_object() {
+        let v = parse("{\"a\": [1, 2.5, null], \"b\": {\"c\": true}, \"s\": \"x\\ny\"}")
+            .expect("parse");
+        assert_eq!(v.get("a").and_then(|x| x.arr()).map(|a| a.len()), Some(3));
+        assert!(v.get("a").unwrap().arr().unwrap()[2].num().unwrap().is_nan());
+        assert_eq!(v.get("b").and_then(|b| b.get("c")).and_then(|c| c.boolean()), Some(true));
+        assert_eq!(v.get("s").and_then(|s| s.str()), Some("x\ny"));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_but_prefix_allows_it() {
+        assert!(parse("{} tail").is_err());
+        assert_eq!(parse_prefix("{} tail").unwrap(), JsonValue::Obj(vec![]));
+        assert!(parse("{oops}").is_err());
+        assert!(parse("").is_err());
+    }
+}

@@ -293,36 +293,11 @@ pub fn emit<F: FnOnce() -> TraceRecord>(sink: &Option<SharedSink>, f: F) {
 // JSON encoding
 // ---------------------------------------------------------------------------
 
-/// Render a float as a JSON token that round-trips through [`str::parse`]:
-/// finite values use Rust's shortest-exact `Display`, infinities saturate
-/// (`±1e400` parses back to `±inf`), `NaN` becomes `null`.
-fn fnum(x: f64) -> String {
-    if x.is_nan() {
-        "null".to_string()
-    } else if x.is_infinite() {
-        if x > 0.0 { "1e400".to_string() } else { "-1e400".to_string() }
-    } else {
-        format!("{x}")
-    }
-}
-
-fn jstr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+// The encoder and parser used to live here; they are now the shared
+// `xprs_obs::json` module so the executor's `metrics.json` and the bench/CI
+// validators speak the exact same dialect (float round-trips, `±1e400`
+// infinities, NaN-as-null).
+use xprs_obs::json::{fnum, jstr, JsonValue};
 
 fn ids_json(ids: &[TaskId]) -> String {
     let items: Vec<String> = ids.iter().map(|t| t.0.to_string()).collect();
@@ -462,247 +437,28 @@ impl TraceRecord {
 }
 
 // ---------------------------------------------------------------------------
-// JSON parsing (minimal, for trace replay; no serde in the offline build)
+// JSON parsing (via the shared `xprs_obs::json` parser)
 // ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn num(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            Json::Null => Some(f64::NAN),
-            _ => None,
-        }
-    }
-
-    fn str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s.as_str()),
-            _ => None,
-        }
-    }
-
-    fn arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn boolean(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser { bytes: s.as_bytes(), pos: 0 }
-    }
-
-    fn err(&self, what: &str) -> String {
-        format!("{what} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected literal {lit}")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(c) = self.peek() {
-            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("utf8"))?;
-        tok.parse::<f64>().map(Json::Num).map_err(|_| self.err("malformed number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            if self.pos + 4 >= self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.err("utf8 in \\u escape"))?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
-                            self.pos += 4;
-                        }
-                        _ => return Err(self.err("bad escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte sequences pass
-                    // through unmodified).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("utf8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let val = self.value()?;
-            fields.push((key, val));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.pos += 1;
-                }
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
 
 fn malformed(line: usize, detail: impl Into<String>) -> SchedError {
     SchedError::MalformedTrace { line, detail: detail.into() }
 }
 
-fn field<'a>(v: &'a Json, key: &str, line: usize) -> Result<&'a Json, SchedError> {
+fn field<'a>(v: &'a JsonValue, key: &str, line: usize) -> Result<&'a JsonValue, SchedError> {
     v.get(key).ok_or_else(|| malformed(line, format!("missing field {key:?}")))
 }
 
-fn fnum_of(v: &Json, key: &str, line: usize) -> Result<f64, SchedError> {
+fn fnum_of(v: &JsonValue, key: &str, line: usize) -> Result<f64, SchedError> {
     field(v, key, line)?
         .num()
         .ok_or_else(|| malformed(line, format!("field {key:?} is not a number")))
 }
 
-fn id_of(v: &Json, key: &str, line: usize) -> Result<TaskId, SchedError> {
+fn id_of(v: &JsonValue, key: &str, line: usize) -> Result<TaskId, SchedError> {
     Ok(TaskId(fnum_of(v, key, line)? as u64))
 }
 
-fn ids_of(v: &Json, key: &str, line: usize) -> Result<Vec<TaskId>, SchedError> {
+fn ids_of(v: &JsonValue, key: &str, line: usize) -> Result<Vec<TaskId>, SchedError> {
     field(v, key, line)?
         .arr()
         .ok_or_else(|| malformed(line, format!("field {key:?} is not an array")))?
@@ -715,7 +471,7 @@ fn ids_of(v: &Json, key: &str, line: usize) -> Result<Vec<TaskId>, SchedError> {
         .collect()
 }
 
-fn machine_of(v: &Json, key: &str, line: usize) -> Result<MachineConfig, SchedError> {
+fn machine_of(v: &JsonValue, key: &str, line: usize) -> Result<MachineConfig, SchedError> {
     let m = field(v, key, line)?;
     Ok(MachineConfig {
         n_procs: fnum_of(m, "n_procs", line)? as u32,
@@ -727,7 +483,7 @@ fn machine_of(v: &Json, key: &str, line: usize) -> Result<MachineConfig, SchedEr
     })
 }
 
-fn action_of(v: &Json, line: usize) -> Result<Action, SchedError> {
+fn action_of(v: &JsonValue, line: usize) -> Result<Action, SchedError> {
     let kind = field(v, "kind", line)?
         .str()
         .ok_or_else(|| malformed(line, "action kind is not a string"))?;
@@ -744,7 +500,7 @@ impl TraceRecord {
     /// Parse one record from its [`TraceRecord::to_json`] line. `line` is
     /// the 1-based line number used in error reports.
     pub fn from_json(s: &str, line: usize) -> Result<TraceRecord, SchedError> {
-        let v = Parser::new(s).value().map_err(|e| malformed(line, e))?;
+        let v = xprs_obs::json::parse_prefix(s).map_err(|e| malformed(line, e))?;
         let ty = field(&v, "type", line)?
             .str()
             .ok_or_else(|| malformed(line, "record type is not a string"))?

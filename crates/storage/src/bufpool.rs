@@ -19,7 +19,7 @@ pub enum FetchOutcome {
     Miss,
 }
 
-/// Hit/miss/eviction counters.
+/// Hit/miss/eviction/bypass counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Fetches served from memory.
@@ -28,17 +28,30 @@ pub struct PoolStats {
     pub misses: u64,
     /// Pages evicted to make room.
     pub evictions: u64,
+    /// Fetches refused because every frame was pinned ([`PoolExhausted`]).
+    /// Callers read around the pool on this outcome, so a bypass is a real
+    /// page read that was neither a hit nor a miss — hiding it from the
+    /// stats overstated hit rates under pin pressure.
+    pub bypasses: u64,
 }
 
 impl PoolStats {
-    /// Hit fraction of all fetches.
+    /// Hit fraction of all fetches, counting bypassed fetches in the
+    /// denominator: a bypass is a page read the pool failed to serve.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.misses + self.bypasses;
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Every fetch the pool saw: `hits + misses + bypasses`. With the pool
+    /// in front of every page read this equals the reader's read count — the
+    /// accounting invariant `metrics.json` is validated against.
+    pub fn fetches(&self) -> u64 {
+        self.hits + self.misses + self.bypasses
     }
 }
 
@@ -99,14 +112,17 @@ impl BufferPool {
             self.frames.push(Frame { key: (rel, block), pins: 0, last_used: 0 });
             self.frames.len() - 1
         } else {
-            let victim = self
+            let Some(victim) = self
                 .frames
                 .iter()
                 .enumerate()
                 .filter(|(_, f)| f.pins == 0)
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
-                .ok_or(PoolExhausted)?;
+            else {
+                self.stats.bypasses += 1;
+                return Err(PoolExhausted);
+            };
             self.map.remove(&self.frames[victim].key);
             self.stats.evictions += 1;
             self.frames[victim].key = (rel, block);
@@ -186,8 +202,9 @@ mod tests {
         p.unpin(R, 0);
         assert_eq!(p.fetch(R, 0), Ok(FetchOutcome::Hit));
         p.unpin(R, 0);
-        assert_eq!(p.stats(), PoolStats { hits: 1, misses: 1, evictions: 0 });
+        assert_eq!(p.stats(), PoolStats { hits: 1, misses: 1, evictions: 0, bypasses: 0 });
         assert!((p.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(p.stats().fetches(), 2);
     }
 
     #[test]
@@ -216,6 +233,24 @@ mod tests {
         p.unpin(R, 1);
         assert_eq!(p.fetch(R, 2), Ok(FetchOutcome::Miss));
         assert!(p.contains(R, 0), "pinned page must survive");
+        assert_eq!(p.stats().bypasses, 1, "the refused fetch must be counted");
+        assert_eq!(p.stats().fetches(), 4, "hits + misses + bypasses covers every fetch");
+    }
+
+    #[test]
+    fn bypasses_drag_the_hit_rate_down() {
+        let mut p = BufferPool::new(1);
+        p.fetch(R, 0).unwrap();
+        p.unpin(R, 0);
+        p.fetch(R, 0).unwrap(); // hit, stays pinned
+        // Frame pinned: every other page read bypasses the pool.
+        for b in 1..=8u64 {
+            assert_eq!(p.fetch(R, b), Err(PoolExhausted));
+        }
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses), (1, 1, 8));
+        // 1 hit out of 10 fetches, not 1 out of 2.
+        assert!((s.hit_rate() - 0.1).abs() < 1e-12);
     }
 
     #[test]

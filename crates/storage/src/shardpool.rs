@@ -112,6 +112,7 @@ impl ShardedBufferPool {
             total.hits += st.hits;
             total.misses += st.misses;
             total.evictions += st.evictions;
+            total.bypasses += st.bypasses;
         }
         total
     }
@@ -190,5 +191,26 @@ mod tests {
     #[should_panic(expected = "cannot fill")]
     fn too_many_shards_rejected() {
         ShardedBufferPool::new(4, 8);
+    }
+
+    #[test]
+    fn exhausted_shard_counts_bypasses() {
+        // One shard, one frame: hold the only frame pinned (a miss keeps its
+        // pin until finish_read) and every other access is a bypass — and
+        // must show up in the stats, or hit rates lie under pin pressure.
+        let p = ShardedBufferPool::new(1, 1);
+        assert_eq!(p.access(R, 0), Ok(FetchOutcome::Miss)); // pin held
+        let mut reads = 1u64;
+        for b in 1..=5u64 {
+            assert_eq!(p.access(R, b), Err(PoolExhausted));
+            reads += 1;
+        }
+        p.finish_read(R, 0);
+        assert_eq!(p.access(R, 0), Ok(FetchOutcome::Hit));
+        reads += 1;
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses), (1, 1, 5));
+        assert_eq!(s.fetches(), reads, "hits + misses + bypasses == reads");
+        assert_eq!(p.shard_stats()[0].bypasses, 5);
     }
 }

@@ -6,9 +6,10 @@
 #
 #   ./scripts/ci.sh
 #
-# The bench steps write BENCH_executor.json and BENCH_join.json at the repo
-# root; the recorded numbers live in docs/results/executor_datapath.md and
-# docs/results/join_datapath.md.
+# The bench steps write BENCH_executor.json, BENCH_join.json, BENCH_obs.json
+# and metrics.json at the repo root; the recorded numbers live in
+# docs/results/executor_datapath.md, docs/results/join_datapath.md and
+# docs/results/observability.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +49,41 @@ assert all(c["materialized_tuples_per_sec"] > 0 for c in configs)
 if speedup < 1.0:
     sys.exit(f"join data-path regression: speedup at 8 workers {speedup} < 1.0")
 print(f"bench_join OK: speedup at 8 workers = {speedup}x")
+EOF
+
+echo "==> bench_obs (writes BENCH_obs.json + metrics.json)"
+./target/release/bench_obs BENCH_obs.json metrics.json
+# The metrics dump must be well-formed and internally consistent (pool
+# ledger balances against the read count, every disk reports busy time per
+# service class, the paired-window bandwidth falls in the seek-corrected
+# band), and enabling metrics must not cost more than ~2% throughput.
+python3 - <<'EOF'
+import json, sys
+with open("metrics.json") as f:
+    m = json.load(f)
+p = m["pool"]
+if p["hits"] + p["misses"] + p["bypasses"] != m["reads"]:
+    sys.exit(f"pool ledger broken: {p} vs reads={m['reads']}")
+shard_sum = sum(s["hits"] + s["misses"] + s["bypasses"] for s in p["shards"])
+if shard_sum != m["reads"]:
+    sys.exit(f"per-shard ledger broken: {shard_sum} vs reads={m['reads']}")
+if len(m["disks"]) == 0:
+    sys.exit("no disks in metrics dump")
+for d in m["disks"]:
+    for cls in ("sequential", "almost_sequential", "random"):
+        if cls not in d:
+            sys.exit(f"disk missing service class {cls}: {d}")
+a = m["utilization_audit"]
+lo, hi = a["band"]
+bw = a["paired_bw"]
+if not (lo * 0.9 <= bw <= hi * 1.1):
+    sys.exit(f"paired bandwidth {bw} outside band [{lo}, {hi}] (+/-10%)")
+with open("BENCH_obs.json") as f:
+    r = json.load(f)
+ratio = r["overhead_ratio"]
+if ratio > 1.02:
+    sys.exit(f"metrics-enabled throughput regression: ratio {ratio} > 1.02")
+print(f"bench_obs OK: paired_bw={bw:.1f} in [{lo},{hi}], overhead={ratio}")
 EOF
 
 echo "==> chaos (fault-injection suite, fixed seeds, debug + release)"
