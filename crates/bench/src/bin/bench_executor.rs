@@ -9,15 +9,25 @@
 //! recorded. The headline number is the 8-worker throughput ratio of the
 //! de-contended path over the global-lock (seed) path.
 //!
+//! A second, **disk-resident** section runs the larger-than-memory workload
+//! (relations [`xprs_bench::exec_disk::SPILL_FACTOR`]× the pool, skewed
+//! block costs, scaled-time machine): two co-run scans per config, the
+//! worker count and [`MorselMode`] as the independent variables. Its
+//! headline gate is the paper's central claim — 8-worker throughput must
+//! strictly exceed 1-worker throughput — with the §2.3 utilization audit
+//! confirming the disk band is saturated rather than under-staffed.
+//!
 //! Usage: `bench_executor [output.json]` (default `BENCH_executor.json`).
 
-use xprs_bench::exec_scan;
-use xprs_executor::DataPath;
+use xprs_bench::{exec_disk, exec_scan, host_header_json};
+use xprs_executor::{DataPath, ExecConfig, MorselMode};
 
 const RELATION_TUPLES: u64 = 8_192;
 const QUERIES: usize = 48;
 const TRIALS: usize = 9;
 const WORKERS: [u32; 4] = [1, 2, 4, 8];
+const DR_TRIALS: usize = 3;
+const DR_SEED: u64 = 0xD15C;
 
 struct Row {
     path: DataPath,
@@ -100,10 +110,103 @@ fn main() {
     let speedup_at_8 = tput(DataPath::Decontended, 8) / tput(DataPath::GlobalLock, 8);
     eprintln!("speedup at 8 workers (decontended / global_lock): {speedup_at_8:.2}x");
 
+    // ---- Disk-resident scaling: the workload where 8 must beat 1 ----
+    let (dr_cat, dr_wl) = exec_disk::catalog(DR_SEED);
+    let dr_configs: Vec<(MorselMode, u32)> = WORKERS
+        .iter()
+        .map(|&w| (MorselMode::stealing(), w))
+        .chain([(MorselMode::StaticShares, 8u32)])
+        .collect();
+    let mut dr_rows = Vec::new();
+    for &(mode, w) in &dr_configs {
+        let mut scan_walls = Vec::with_capacity(DR_TRIALS);
+        let mut last = None;
+        for _ in 0..DR_TRIALS {
+            let r = exec_disk::scan_run(&dr_cat, &dr_wl, w, mode);
+            assert!(r.emitted > 0, "vacuous disk-resident scan");
+            scan_walls.push(r.scan_wall);
+            last = Some(r);
+        }
+        let last = last.unwrap();
+        let scan_wall = median(&mut scan_walls);
+        let pages_per_sec = last.pages as f64 / scan_wall;
+        eprintln!(
+            "disk_resident {:<13} w={} scan={:.3}s  {:>8.1} pages/s  hit_rate={:.3}  \
+             steals={}  paired_bw={:.1} band=[{:.0},{:.0}] in_band={}",
+            exec_disk::mode_name(mode),
+            w,
+            scan_wall,
+            pages_per_sec,
+            last.hit_rate,
+            last.steals,
+            last.audit.paired_bw,
+            last.audit.band_lo,
+            last.audit.band_hi,
+            last.audit.paired_in_band,
+        );
+        dr_rows.push((mode, w, scan_wall, pages_per_sec, last));
+    }
+    let dr_tput = |mode: MorselMode, w: u32| {
+        dr_rows.iter().find(|r| r.0 == mode && r.1 == w).map(|r| r.3).unwrap()
+    };
+    let dr_speedup = dr_tput(MorselMode::stealing(), 8) / dr_tput(MorselMode::stealing(), 1);
+    let dr8 = &dr_rows.iter().find(|r| r.0 == MorselMode::stealing() && r.1 == 8).unwrap().4;
+    let saturated = dr8.audit.paired_in_band;
+    eprintln!(
+        "disk-resident speedup (8w / 1w, stealing): {dr_speedup:.2}x  saturated_at_8={saturated}"
+    );
+
     // Hand-rolled JSON: the workspace builds offline with no serde.
+    let dr_json = {
+        let mut j = String::new();
+        j.push_str("  \"disk_resident\": {\n");
+        j.push_str(&format!("    \"bufpool_pages\": {},\n", exec_disk::BUFPOOL_PAGES));
+        j.push_str(&format!("    \"spill_factor\": {},\n", exec_disk::SPILL_FACTOR));
+        j.push_str(&format!(
+            "    \"pages_per_relation\": {},\n",
+            dr_wl.relations[0].n_pages()
+        ));
+        j.push_str(&format!("    \"time_speedup\": {},\n", exec_disk::TIME_SPEEDUP));
+        j.push_str(&format!("    \"trials_per_config\": {DR_TRIALS},\n"));
+        j.push_str("    \"configs\": [\n");
+        for (i, (mode, w, scan_wall, pages_per_sec, r)) in dr_rows.iter().enumerate() {
+            j.push_str(&format!(
+                "      {{\"mode\": \"{}\", \"workers\": {}, \"scan_wall_seconds\": {:.6}, \
+                 \"pages_per_sec\": {:.2}, \"tuples_per_sec\": {:.1}, \
+                 \"bufpool_hit_rate\": {:.4}, \"steals\": {}, \"steal_fails\": {}, \
+                 \"pool_threads\": {}, \"paired_bw\": {:.2}, \"band_lo\": {:.2}, \
+                 \"band_hi\": {:.2}, \"paired_in_band\": {}, \"paired_disk_util\": {:.4}}}{}\n",
+                exec_disk::mode_name(*mode),
+                w,
+                scan_wall,
+                pages_per_sec,
+                r.tuples as f64 / scan_wall,
+                r.hit_rate,
+                r.steals,
+                r.steal_fails,
+                r.pool_threads,
+                r.audit.paired_bw,
+                r.audit.band_lo,
+                r.audit.band_hi,
+                r.audit.paired_in_band,
+                r.audit.paired_disk_util,
+                if i + 1 == dr_rows.len() { "" } else { "," }
+            ));
+        }
+        j.push_str("    ],\n");
+        j.push_str(&format!("    \"speedup_8w_over_1w\": {dr_speedup:.3},\n"));
+        j.push_str(&format!("    \"saturated_at_8_workers\": {saturated}\n"));
+        j.push_str("  },\n");
+        j
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"executor_scan\",\n");
+    json.push_str(&host_header_json(
+        ExecConfig::unthrottled().machine.n_procs,
+        ExecConfig::unthrottled().bufpool_pages,
+    ));
     json.push_str(&format!("  \"relation_tuples\": {RELATION_TUPLES},\n"));
     json.push_str(&format!("  \"queries_per_run\": {QUERIES},\n"));
     json.push_str(&format!("  \"tuples_examined_per_run\": {examined},\n"));
@@ -128,6 +231,7 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&dr_json);
     json.push_str(&format!(
         "  \"speedup_decontended_vs_global_lock_at_8_workers\": {speedup_at_8:.3}\n"
     ));

@@ -11,10 +11,16 @@
 //! and materialized-tuples/second are recorded. The headline number is the
 //! 8-worker throughput ratio of the new path over the legacy one.
 //!
+//! A second, **disk-resident** section joins a larger-than-memory build
+//! side (spilling the pool several times over, scaled-time machine) against
+//! a small probe relation, sweeping the worker count under morsel stealing
+//! — the regime where the build scan's disk waits, not materialization
+//! contention, bound the join.
+//!
 //! Usage: `bench_join [output.json]` (default `BENCH_join.json`).
 
-use xprs_bench::exec_join;
-use xprs_executor::DataPath;
+use xprs_bench::{exec_disk, exec_join, host_header_json};
+use xprs_executor::{DataPath, ExecConfig, MorselMode};
 
 const BUILD_TUPLES: u64 = 200_000;
 const PROBE_TUPLES: u64 = 8_000;
@@ -22,6 +28,8 @@ const KEY_MOD: u64 = 1_000_000;
 const QUERIES: usize = 8;
 const TRIALS: usize = 5;
 const WORKERS: [u32; 4] = [1, 2, 4, 8];
+const DR_TRIALS: usize = 3;
+const DR_SEED: u64 = 0x10D1;
 
 struct Row {
     path: DataPath,
@@ -98,10 +106,40 @@ fn main() {
     let speedup_at_8 = tput(DataPath::Decontended, 8) / tput(DataPath::GlobalLock, 8);
     eprintln!("join speedup at 8 workers (decontended / global_lock): {speedup_at_8:.2}x");
 
+    // ---- Disk-resident join: the build scan spills the pool ----
+    let (dr_cat, dr_wl) = exec_disk::catalog(DR_SEED);
+    let mut dr_rows = Vec::new();
+    for &w in &WORKERS {
+        let mut join_walls = Vec::with_capacity(DR_TRIALS);
+        let mut last = None;
+        for _ in 0..DR_TRIALS {
+            let r = exec_disk::join_run(&dr_cat, &dr_wl, w, MorselMode::stealing());
+            assert!(r.emitted > 0, "vacuous disk-resident join");
+            join_walls.push(r.join_wall);
+            last = Some(r);
+        }
+        let last = last.unwrap();
+        let join_wall = median(&mut join_walls);
+        let tput = last.materialized as f64 / join_wall;
+        eprintln!(
+            "disk_resident join w={w} join={join_wall:.3}s  {tput:>10.1} tuples/s  \
+             hit_rate={:.3}  steals={}",
+            last.hit_rate, last.steals
+        );
+        dr_rows.push((w, join_wall, tput, last));
+    }
+    let dr_speedup = dr_rows.iter().find(|r| r.0 == 8).unwrap().2
+        / dr_rows.iter().find(|r| r.0 == 1).unwrap().2;
+    eprintln!("disk-resident join speedup (8w / 1w, stealing): {dr_speedup:.2}x");
+
     // Hand-rolled JSON: the workspace builds offline with no serde.
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"executor_join\",\n");
+    json.push_str(&host_header_json(
+        ExecConfig::unthrottled().machine.n_procs,
+        ExecConfig::unthrottled().bufpool_pages,
+    ));
     json.push_str(&format!("  \"build_tuples\": {BUILD_TUPLES},\n"));
     json.push_str(&format!("  \"probe_tuples\": {PROBE_TUPLES},\n"));
     json.push_str(&format!("  \"key_mod\": {KEY_MOD},\n"));
@@ -125,6 +163,28 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"disk_resident\": {\n");
+    json.push_str(&format!("    \"bufpool_pages\": {},\n", exec_disk::BUFPOOL_PAGES));
+    json.push_str(&format!("    \"spill_factor\": {},\n", exec_disk::SPILL_FACTOR));
+    json.push_str(&format!("    \"trials_per_config\": {DR_TRIALS},\n"));
+    json.push_str("    \"configs\": [\n");
+    for (i, (w, join_wall, tput, r)) in dr_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"mode\": \"stealing\", \"workers\": {}, \"join_wall_seconds\": {:.6}, \
+             \"materialized_tuples_per_sec\": {:.1}, \"bufpool_hit_rate\": {:.4}, \
+             \"steals\": {}, \"pool_threads\": {}}}{}\n",
+            w,
+            join_wall,
+            tput,
+            r.hit_rate,
+            r.steals,
+            r.pool_threads,
+            if i + 1 == dr_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!("    \"speedup_8w_over_1w\": {dr_speedup:.3}\n"));
+    json.push_str("  },\n");
     json.push_str(&format!(
         "  \"speedup_parallel_merge_vs_hash_build_at_8_workers\": {speedup_at_8:.3}\n"
     ));

@@ -2,9 +2,10 @@
 //! promises, measured.
 //!
 //! 1. **Overhead** — enabling hot-path metrics (`ExecConfig::with_obs`) must
-//!    not cost throughput: interleaved A/B runs of the `exec_scan` stream
-//!    with metrics off and on, best-of-N scan wall each. The CI `obs` leg
-//!    fails the build when the ratio exceeds ~2%.
+//!    not cost throughput: interleaved single-worker A/B runs of the
+//!    `exec_scan` stream with metrics off and on, gated on the median over
+//!    independent blocks of best-of-N scan-wall ratios. The CI `obs` leg
+//!    fails the build when that ratio exceeds ~2%.
 //! 2. **The audit** — two IO-heavy scans co-run under a scaled-time machine;
 //!    the §2.2 pairing window's *measured* disk bandwidth must fall inside
 //!    the §2.3 band `[Br, Bs]`, with per-class busy time and CPU/disk
@@ -15,12 +16,20 @@
 
 use std::path::Path;
 
-use xprs_bench::{exec_obs, exec_scan};
-use xprs_executor::DataPath;
+use xprs_bench::{exec_obs, exec_scan, host_header_json};
+use xprs_executor::{DataPath, ExecConfig};
 
 const RELATION_TUPLES: u64 = 8_192;
-const QUERIES: usize = 256;
-const TRIALS: usize = 11;
+// The A/B measures instruction cost, so it runs the scan stream on ONE
+// worker: on this single-core container an 8-worker A/B measures scheduler
+// luck (the ratio wandered ±4% run to run — wider than the 1.02 gate), not
+// instrumentation. The gated figure is the MEDIAN over `BLOCKS` independent
+// blocks of best-of-`TRIALS` ratios: the floor of each block dodges noise
+// spikes within it, and the median across blocks survives the multi-second
+// sustained-load patches that can poison any single block whole.
+const QUERIES: usize = 768;
+const TRIALS: usize = 5; // paired trials per block
+const BLOCKS: usize = 5;
 const AUDIT_TUPLES_EACH: u64 = 2_600; // ~260 pages per relation
 const AUDIT_SCALE: f64 = 0.05; // 20× faster than real time
 const AUDIT_WORKERS: [u32; 3] = [1, 2, 4]; // per scan; ×2 scans co-running
@@ -43,37 +52,48 @@ fn main() {
     let cat = exec_scan::catalog(RELATION_TUPLES);
     let mut off = f64::INFINITY;
     let mut on = f64::INFINITY;
-    let mut ratios = Vec::with_capacity(TRIALS);
-    exec_scan::run_with_obs(&cat, 8, DataPath::Decontended, QUERIES, false); // warmup
-    exec_scan::run_with_obs(&cat, 8, DataPath::Decontended, QUERIES, true);
-    for trial in 0..TRIALS {
+    let mut block_ratios = Vec::with_capacity(BLOCKS);
+    exec_scan::run_with_obs(&cat, 1, DataPath::Decontended, QUERIES, false); // warmup
+    exec_scan::run_with_obs(&cat, 1, DataPath::Decontended, QUERIES, true);
+    for _ in 0..BLOCKS {
         // Back-to-back pairs so host drift (frequency scaling, co-running
         // load) hits both sides equally, alternating which side goes first
-        // so neither always inherits the other's cache state. The gated
-        // figure is the ratio of the best walls: the floor of N trials is
-        // the honest cost of each configuration, where any single trial
-        // can catch a noise spike.
-        let (a, b) = if trial % 2 == 0 {
-            let a = exec_scan::run_with_obs(&cat, 8, DataPath::Decontended, QUERIES, false);
-            let b = exec_scan::run_with_obs(&cat, 8, DataPath::Decontended, QUERIES, true);
-            (a, b)
-        } else {
-            let b = exec_scan::run_with_obs(&cat, 8, DataPath::Decontended, QUERIES, true);
-            let a = exec_scan::run_with_obs(&cat, 8, DataPath::Decontended, QUERIES, false);
-            (a, b)
-        };
-        assert!(a.emitted > 0 && b.emitted > 0, "vacuous scan");
-        off = off.min(a.scan_wall);
-        on = on.min(b.scan_wall);
-        ratios.push(b.scan_wall / a.scan_wall);
+        // so neither always inherits the other's cache state.
+        let mut boff = f64::INFINITY;
+        let mut bon = f64::INFINITY;
+        for trial in 0..TRIALS {
+            let (a, b) = if trial % 2 == 0 {
+                let a = exec_scan::run_with_obs(&cat, 1, DataPath::Decontended, QUERIES, false);
+                let b = exec_scan::run_with_obs(&cat, 1, DataPath::Decontended, QUERIES, true);
+                (a, b)
+            } else {
+                let b = exec_scan::run_with_obs(&cat, 1, DataPath::Decontended, QUERIES, true);
+                let a = exec_scan::run_with_obs(&cat, 1, DataPath::Decontended, QUERIES, false);
+                (a, b)
+            };
+            assert!(a.emitted > 0 && b.emitted > 0, "vacuous scan");
+            boff = boff.min(a.scan_wall);
+            bon = bon.min(b.scan_wall);
+        }
+        block_ratios.push(bon / boff);
+        off = off.min(boff);
+        on = on.min(bon);
     }
-    ratios.sort_by(|x, y| x.total_cmp(y));
-    let median_ratio = ratios[ratios.len() / 2];
-    let overhead_ratio = on / off;
+    let mut sorted = block_ratios.clone();
+    sorted.sort_by(|x, y| x.total_cmp(y));
+    // The gated figure: the median block has to breach before the run does.
+    let overhead_ratio = sorted[BLOCKS / 2];
+    let floor_ratio = on / off;
     eprintln!("metrics off: best scan_wall {off:.4}s");
     eprintln!("metrics on:  best scan_wall {on:.4}s");
-    eprintln!("median per-trial ratio: {median_ratio:.4}");
-    println!("overhead_ratio: {overhead_ratio:.4}  (best-of-{TRIALS} on / best-of-{TRIALS} off)");
+    eprintln!(
+        "block ratios: {}",
+        block_ratios.iter().map(|r| format!("{r:.4}")).collect::<Vec<_>>().join(" ")
+    );
+    println!(
+        "overhead_ratio: {overhead_ratio:.4}  (median of {BLOCKS} blocks, \
+         best-of-{TRIALS} each; global floor ratio {floor_ratio:.4})"
+    );
 
     // --- 2. Utilization audit -------------------------------------------
     let audit_cat = exec_obs::catalog(AUDIT_TUPLES_EACH);
@@ -126,11 +146,19 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"observability\",\n");
-    json.push_str(&format!("  \"overhead_trials\": {TRIALS},\n"));
+    json.push_str(&host_header_json(
+        ExecConfig::unthrottled().machine.n_procs,
+        ExecConfig::unthrottled().bufpool_pages,
+    ));
+    json.push_str(&format!("  \"overhead_trials\": {},\n", BLOCKS * TRIALS));
     json.push_str(&format!("  \"scan_wall_metrics_off\": {off:.6},\n"));
     json.push_str(&format!("  \"scan_wall_metrics_on\": {on:.6},\n"));
     json.push_str(&format!("  \"overhead_ratio\": {overhead_ratio:.4},\n"));
-    json.push_str(&format!("  \"overhead_median_trial_ratio\": {median_ratio:.4},\n"));
+    json.push_str(&format!("  \"overhead_floor_ratio\": {floor_ratio:.4},\n"));
+    json.push_str(&format!(
+        "  \"overhead_block_ratios\": [{}],\n",
+        block_ratios.iter().map(|r| format!("{r:.4}")).collect::<Vec<_>>().join(", ")
+    ));
     json.push_str(&format!("  \"audit_scale\": {AUDIT_SCALE},\n"));
     json.push_str(&format!("  \"band\": [{:.2}, {:.2}],\n", band.0, band.1));
     json.push_str("  \"audit\": [\n");

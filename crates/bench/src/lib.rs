@@ -425,6 +425,250 @@ pub mod exec_join {
     }
 }
 
+/// Shared scenario for the **disk-resident** scaling benches: relations
+/// several times the buffer pool (so every scan is real disk traffic with
+/// eviction pressure) with skewed per-page costs, run under the scaled-time
+/// machine so I/O waits are wall-clock real. This is the regime of the
+/// paper's §3 evaluation — and the one where 8 workers must finally beat 1:
+/// the in-memory benches measure coordination overhead, this one measures
+/// whether stealing converts disk-wait idleness into overlap.
+pub mod exec_disk {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use xprs_disk::StripedLayout;
+    use xprs_executor::{
+        ExecConfig, Executor, MorselMode, QueryRun, RelBinding, UtilizationAudit,
+    };
+    use xprs_optimizer::cost::{CostModel, RelInfo};
+    use xprs_optimizer::{decompose, Costing, OptimizedQuery, Plan, Query, TwoPhaseOptimizer};
+    use xprs_scheduler::MachineConfig;
+    use xprs_storage::{Catalog, Datum, Schema, Tuple};
+    use xprs_workload::{generate_disk_resident, DiskResidentSpec, DiskResidentWorkload};
+
+    use super::exec_obs::CoRun;
+    use super::FixedParallelism;
+
+    /// Buffer-pool frames for the disk-resident runs (each relation is
+    /// [`SPILL_FACTOR`]× this, so the pool cannot cache a scan).
+    pub const BUFPOOL_PAGES: usize = 64;
+    /// Relation pages as a multiple of the pool.
+    pub const SPILL_FACTOR: u64 = 8;
+    /// Scaled-time speedup: the machine runs 20× faster than the simulated
+    /// clock, keeping the full worker sweep under a few wall seconds while
+    /// disk service times stay real sleeps.
+    pub const TIME_SPEEDUP: f64 = 20.0;
+    /// Probe-side tuples for the disk-resident join.
+    pub const PROBE_TUPLES: u64 = 1_000;
+
+    /// One timed disk-resident scan run (two relations co-scanned).
+    #[derive(Debug, Clone)]
+    pub struct DiskScanRun {
+        /// Heap pages the two scans read.
+        pub pages: u64,
+        /// Tuples examined.
+        pub tuples: u64,
+        /// Tuples emitted (sanity check, > 0).
+        pub emitted: u64,
+        /// Wall seconds for the whole run.
+        pub wall: f64,
+        /// First fragment start → last fragment finish.
+        pub scan_wall: f64,
+        /// Buffer-pool hit fraction (bypass-aware).
+        pub hit_rate: f64,
+        /// Morsels taken from another slot's deque.
+        pub steals: u64,
+        /// Idle probes that found no pending morsel anywhere.
+        pub steal_fails: u64,
+        /// OS threads created over the run.
+        pub pool_threads: u64,
+        /// The §2.2–2.3 pairing-window audit for the run.
+        pub audit: UtilizationAudit,
+    }
+
+    /// One timed disk-resident join run.
+    #[derive(Debug, Clone, Copy)]
+    pub struct DiskJoinRun {
+        /// Build-side tuples materialized plus joined output.
+        pub materialized: u64,
+        /// Joined tuples emitted (sanity check, > 0).
+        pub emitted: u64,
+        /// Wall seconds for the whole run.
+        pub wall: f64,
+        /// First fragment start → last fragment finish.
+        pub join_wall: f64,
+        /// Buffer-pool hit fraction.
+        pub hit_rate: f64,
+        /// Morsels taken from another slot's deque.
+        pub steals: u64,
+        /// OS threads created over the run.
+        pub pool_threads: u64,
+    }
+
+    /// The benchmark catalog: two disk-resident relations (for the co-run
+    /// scan and its pairing windows) plus a small cacheable probe side for
+    /// the join, all striped over the four paper disks.
+    pub fn catalog(seed: u64) -> (Arc<Catalog>, DiskResidentWorkload) {
+        let spec = DiskResidentSpec::paper(BUFPOOL_PAGES as u64, SPILL_FACTOR, seed);
+        let workload = generate_disk_resident(&spec);
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        workload.load_into(&mut cat);
+        cat.create("dr_probe", Schema::paper_rel());
+        let mut s = seed ^ 0xBEEF;
+        let rows: Vec<Tuple> = (0..PROBE_TUPLES)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((s >> 33) % spec.key_mod) as i32;
+                Tuple::from_values(vec![Datum::Int(a), Datum::Text(String::new())])
+            })
+            .collect();
+        cat.load("dr_probe", rows);
+        (Arc::new(cat), workload)
+    }
+
+    /// The scaled-time, spill-sized configuration every disk-resident run
+    /// uses; only the morsel mode varies.
+    fn config(mode: MorselMode) -> ExecConfig {
+        let mut cfg = ExecConfig::scaled(TIME_SPEEDUP).with_morsel_mode(mode).with_obs();
+        cfg.bufpool_pages = BUFPOOL_PAGES;
+        cfg
+    }
+
+    /// Co-run one full scan of each disk-resident relation with `workers`
+    /// workers per scan under `mode`. Two concurrent IO-heavy scans give
+    /// the audit its paired windows, so the run reports whether the disk
+    /// band was actually saturated.
+    pub fn scan_run(
+        cat: &Arc<Catalog>,
+        workload: &DiskResidentWorkload,
+        workers: u32,
+        mode: MorselMode,
+    ) -> DiskScanRun {
+        let optimizer = TwoPhaseOptimizer::paper_default();
+        let runs: Vec<QueryRun> = workload
+            .relations
+            .iter()
+            .map(|rel| {
+                let q = Query::selection(&rel.name, 1.0);
+                QueryRun {
+                    optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost),
+                    bindings: vec![RelBinding {
+                        name: rel.name.clone(),
+                        pred: (i32::MIN, i32::MAX),
+                    }],
+                }
+            })
+            .collect();
+        let exec = Executor::new(config(mode), cat.clone());
+        let mut policy = CoRun::new(MachineConfig::paper_default(), workers);
+        let t0 = Instant::now();
+        let report = exec.run(&runs, &mut policy).expect("disk-resident scan failed");
+        let wall = t0.elapsed().as_secs_f64();
+        let first_start =
+            report.fragment_times.iter().map(|&(_, s, _)| s).fold(f64::INFINITY, f64::min);
+        let last_finish =
+            report.fragment_times.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
+        let audit = report.utilization_audit();
+        let (steals, steal_fails) = report
+            .metrics
+            .as_ref()
+            .map_or((0, 0), |m| (m.steals.get(), m.steal_fails.get()));
+        DiskScanRun {
+            pages: workload.relations.iter().map(|r| r.n_pages()).sum(),
+            tuples: workload.relations.iter().map(|r| r.n_tuples).sum(),
+            emitted: report.results.iter().map(|r| r.rows.rows.len() as u64).sum(),
+            wall,
+            scan_wall: last_finish - first_start,
+            hit_rate: report.stats.pool.hit_rate(),
+            steals,
+            steal_fails,
+            pool_threads: report.pool_threads,
+            audit,
+        }
+    }
+
+    /// `dr_0 ⋈ dr_probe` with the disk-resident relation pinned as the
+    /// hash-build side, so the materialization scan is the spilling one.
+    fn optimized_join(cat: &Catalog, build: &str) -> OptimizedQuery {
+        let plan = Plan::HashJoin {
+            build: Box::new(Plan::SeqScan { rel: 0 }),
+            probe: Box::new(Plan::SeqScan { rel: 1 }),
+        };
+        let rels: Vec<RelInfo> = [build, "dr_probe"]
+            .iter()
+            .map(|n| {
+                let s = cat.get(n).expect("bench relation").stats();
+                RelInfo {
+                    n_tuples: s.n_tuples as f64,
+                    n_blocks: s.n_blocks as f64,
+                    n_distinct: s.n_distinct_a as f64,
+                    selectivity: 1.0,
+                    has_index: false,
+                    clustered: false,
+                }
+            })
+            .collect();
+        let costed = CostModel::paper_default().cost_plan(&plan, &rels);
+        let fragments = decompose(&plan, &costed, 0);
+        OptimizedQuery { seqcost: costed.cost.total_cost, parcost: 0.0, plan, fragments }
+    }
+
+    /// Run the disk-resident hash join with `workers` workers under `mode`.
+    pub fn join_run(
+        cat: &Arc<Catalog>,
+        workload: &DiskResidentWorkload,
+        workers: u32,
+        mode: MorselMode,
+    ) -> DiskJoinRun {
+        let build = &workload.relations[0];
+        let optimized = optimized_join(cat, &build.name);
+        let bindings = vec![
+            RelBinding { name: build.name.clone(), pred: (i32::MIN, i32::MAX) },
+            RelBinding { name: "dr_probe".into(), pred: (i32::MIN, i32::MAX) },
+        ];
+        let runs = vec![QueryRun { optimized, bindings }];
+        let exec = Executor::new(config(mode), cat.clone());
+        let mut policy = FixedParallelism::new(MachineConfig::paper_default(), workers);
+        let t0 = Instant::now();
+        let report = exec.run(&runs, &mut policy).expect("disk-resident join failed");
+        let wall = t0.elapsed().as_secs_f64();
+        let first_start =
+            report.fragment_times.iter().map(|&(_, s, _)| s).fold(f64::INFINITY, f64::min);
+        let last_finish =
+            report.fragment_times.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
+        let emitted: u64 = report.results.iter().map(|r| r.rows.rows.len() as u64).sum();
+        DiskJoinRun {
+            materialized: build.n_tuples + emitted,
+            emitted,
+            wall,
+            join_wall: last_finish - first_start,
+            hit_rate: report.stats.pool.hit_rate(),
+            steals: report.metrics.as_ref().map_or(0, |m| m.steals.get()),
+            pool_threads: report.pool_threads,
+        }
+    }
+
+    /// JSON name of a morsel mode.
+    pub fn mode_name(mode: MorselMode) -> &'static str {
+        match mode {
+            MorselMode::StaticShares => "static_shares",
+            MorselMode::Stealing { .. } => "stealing",
+        }
+    }
+}
+
+/// The host facts every `BENCH_*.json` header records so scaling numbers
+/// are interpretable across machines: the host's available parallelism,
+/// the simulated machine's processor count (= persistent-pool staffing
+/// width), and the buffer-pool size the run used.
+pub fn host_header_json(n_procs: u32, bufpool_pages: usize) -> String {
+    let avail = std::thread::available_parallelism().map_or(0, |n| n.get());
+    format!(
+        "  \"host\": {{\"available_parallelism\": {avail}, \"machine_procs\": {n_procs}, \
+         \"bufpool_pages\": {bufpool_pages}}},\n"
+    )
+}
+
 /// Mean of a slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

@@ -373,16 +373,17 @@ impl Machine {
     /// Burn `seconds` of simulated CPU while holding a processor permit.
     /// With metrics attached, the time spent *waiting* for the permit is
     /// recorded — the measured cost of staffing more workers than `N`.
+    ///
+    /// Only *contended* acquisitions reach the histogram. An uncontended
+    /// grant is a zero wait, and recording that zero costs four shared
+    /// cache-line RMWs per compute call — measured at ~3% of scan wall on
+    /// the 8-worker A/B, which is more than the obs gate's whole 2%
+    /// budget. The histogram's `count` is therefore "acquisitions that
+    /// waited", not "acquisitions".
     pub fn compute(&self, seconds: f64) {
         let _permit = match &self.metrics {
-            // Clock reads only on the contended path: an uncontended grant
-            // *is* a zero wait, and charging two `Instant::now`s per compute
-            // call to learn that would make measurement the thing measured.
             Some(m) => match self.cpu.try_acquire() {
-                Some(permit) => {
-                    m.gate_wait_ns.observe(0);
-                    permit
-                }
+                Some(permit) => permit,
                 None => {
                     let waited = Instant::now();
                     let permit = self.cpu.acquire();
@@ -424,6 +425,12 @@ impl Machine {
     /// Per-shard buffer-pool counters (empty when buffering is disabled).
     pub fn pool_shard_stats(&self) -> Vec<PoolStats> {
         self.pool.as_ref().map(|p| p.shard_stats()).unwrap_or_default()
+    }
+
+    /// Outstanding buffer-pool pins right now (0 when buffering is
+    /// disabled). Non-zero after a run means a reader leaked a pin.
+    pub fn pool_pinned(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.pinned())
     }
 
     /// Per-class `(requests, busy seconds)` served so far across all disks,
@@ -697,7 +704,8 @@ mod tests {
         assert_eq!(metrics.io_faults.get(), 1);
         m.compute(0.5);
         m.compute(0.25);
-        assert_eq!(metrics.gate_wait_ns.snapshot().count, 2);
+        // Uncontended grants are not recorded (contended-only histogram).
+        assert_eq!(metrics.gate_wait_ns.snapshot().count, 0);
         assert!((m.cpu_busy_secs() - 0.75).abs() < 1e-9);
         // Per-disk class stats merge to the array totals.
         let per_disk = m.disk_class_stats();
@@ -708,6 +716,28 @@ mod tests {
             per_disk.iter().map(xprs_disk::ClassStats::total_count).sum::<u64>(),
             total.total_count()
         );
+    }
+
+    #[test]
+    fn gate_wait_records_contended_acquisitions() {
+        // One processor, scaled time: the first thread holds the permit
+        // through a real 10ms sleep, so the second thread's acquisition
+        // must wait and must land in the histogram.
+        let cfg = MachineConfig { n_procs: 1, ..MachineConfig::paper_default() };
+        let metrics = Arc::new(crate::obs::ExecMetrics::default());
+        let m = Arc::new(Machine::new(&cfg, 1.0).with_metrics(metrics.clone()));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || m.compute(0.01))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let gate = metrics.gate_wait_ns.snapshot();
+        assert!(gate.count >= 1, "the losing thread's wait must be recorded");
+        assert!(gate.sum > 0, "a contended wait is not a zero wait");
     }
 
     #[test]

@@ -16,11 +16,16 @@
 //!   data-parallel pipeline programs: a partitioned *driver* (page-
 //!   partitioned heap scan, range-partitioned index scan, or a key-domain
 //!   merge) followed by probe/merge/nest operators over materialized inputs.
-//! * [`worker`] — the slave backend loop: pull the next page or key range
-//!   from the shared partition state, perform the throttled I/O, evaluate
-//!   the pipeline, emit result tuples; workers discover retirement and new
-//!   assignments through the Section 2.4 partition structures, so dynamic
-//!   parallelism adjustment needs no thread cancellation.
+//! * [`worker`] — the slave backend loop: claim the next work unit (a
+//!   morsel-claimed page or key on the stealing path, a static §2.4 share
+//!   otherwise), perform the throttled I/O, evaluate the pipeline, emit
+//!   result tuples; workers discover retirement and new assignments
+//!   through the shared partition structures, so dynamic parallelism
+//!   adjustment needs no thread cancellation.
+//! * [`steal`] — the morsel-driven work-stealing layer: fragments decompose
+//!   into fixed-size block-range morsels dealt into per-worker deques;
+//!   idle workers steal pending morsels from seeded victims, and the
+//!   heartbeat patrol reclaims only a dead worker's *unclaimed* units.
 //! * [`master`] — the driver: executes one or many optimized queries under
 //!   any [`xprs_scheduler::SchedulePolicy`], staffing and re-partitioning
 //!   worker slots on a persistent thread [`pool`] as the policy directs.
@@ -37,15 +42,18 @@ pub mod master;
 pub mod obs;
 pub mod pool;
 pub mod program;
+pub mod steal;
 pub mod worker;
 
 pub use io::{CpuGate, IoFault, Machine, MachineStats, READ_ATTEMPTS};
 pub use master::{
-    join_worker, DataPath, ExecConfig, ExecError, ExecReport, Executor, QueryResult, QueryRun,
+    join_worker, DataPath, ExecConfig, ExecError, ExecReport, Executor, MorselMode, QueryResult,
+    QueryRun, DEFAULT_MORSEL_UNITS,
 };
 pub use obs::{
     ExecMetrics, FragmentProfile, MergeProfile, QueryProfile, UtilSample, UtilizationAudit,
 };
 pub use pool::WorkerPool;
 pub use program::{compile, FragmentProgram, KeyIndex, Matches, Materialized, PipelineOp, ProgramSet};
+pub use steal::{NextMorsel, StealPartition, MAX_STEAL_UNITS};
 pub use worker::RelBinding;

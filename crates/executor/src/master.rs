@@ -14,7 +14,7 @@ use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use xprs_disk::{ClassStats, FaultPlan};
@@ -32,6 +32,7 @@ use crate::io::{lock, IoFault, Machine, MachineStats};
 use crate::obs::{ExecMetrics, FragmentProfile, MergeProfile, QueryProfile, RunningInfo, UtilSample};
 use crate::pool::WorkerPool;
 use crate::program::{compile, Driver, Materialized};
+use crate::steal::{StealPartition, MAX_STEAL_UNITS};
 use crate::worker::{run_worker, FragCtx, OutputSink, PartitionState, RelBinding};
 
 /// One pool-merge task: merges a disjoint key sub-range of the runs.
@@ -42,10 +43,12 @@ type MergeTask = Box<dyn FnOnce() -> Vec<(i32, Tuple)> + Send>;
 /// [`DataPath::Decontended`] is the production path: per-worker batched
 /// output, batched CPU-gate accounting, the sharded buffer pool, and
 /// worker slots staffed on the persistent [`WorkerPool`].
-/// [`DataPath::GlobalLock`] reproduces the seed's behaviour — one lock
-/// round per result tuple, one gate acquisition per compute call, one
-/// buffer-pool latch, and a freshly spawned OS thread per worker slot —
-/// and exists so benches can measure the difference.
+/// [`DataPath::GlobalLock`] reproduces the seed's contended *data path* —
+/// one lock round per result tuple, one gate acquisition per compute call,
+/// one buffer-pool latch, static partition shares — and exists so benches
+/// can measure the difference. Worker slots are staffed on the persistent
+/// pool under both paths, so the A/B measures contention, not the seed's
+/// per-slot thread churn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataPath {
     /// Batched per-worker output, batched CPU charging, sharded pool.
@@ -53,6 +56,40 @@ pub enum DataPath {
     /// The seed's contended hot path (baseline for comparison).
     GlobalLock,
 }
+
+/// How a fragment's work units reach its workers.
+///
+/// [`MorselMode::Stealing`] is the production path: units are grouped into
+/// fixed-size morsels dealt into per-worker deques, a worker claims its
+/// morsel's units on a private atomic (no lock round per unit), and idle
+/// workers steal whole pending morsels from seeded victims — so a worker
+/// stuck behind a slow disk or a cold page no longer strands its whole
+/// static share. [`MorselMode::StaticShares`] keeps the §2.4
+/// residue-class/interval shares selectable for A/B measurement, mirroring
+/// the [`DataPath::GlobalLock`] precedent. Under `GlobalLock` the static
+/// shares are always used (that path reproduces the seed exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MorselMode {
+    /// §2.4 static partition shares (one partition-mutex round per unit).
+    StaticShares,
+    /// Morsel-driven work stealing.
+    Stealing {
+        /// Work units (pages or keys) per morsel; clamped to ≥ 1.
+        morsel_units: u64,
+    },
+}
+
+impl MorselMode {
+    /// The production stealing configuration ([`DEFAULT_MORSEL_UNITS`]).
+    pub fn stealing() -> Self {
+        MorselMode::Stealing { morsel_units: DEFAULT_MORSEL_UNITS }
+    }
+}
+
+/// Default units per morsel: big enough to amortize the deque latch and
+/// the completion report, small enough that an 8-worker fragment over a
+/// few hundred pages still has morsels worth stealing.
+pub const DEFAULT_MORSEL_UNITS: u64 = 16;
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -78,6 +115,10 @@ pub struct ExecConfig {
     pub cpu_batch_seconds: f64,
     /// Which data path to run.
     pub data_path: DataPath,
+    /// How work units reach workers: morsel-driven stealing (production)
+    /// or the §2.4 static shares (A/B baseline). Forced to
+    /// [`MorselMode::StaticShares`] under [`DataPath::GlobalLock`].
+    pub morsel_mode: MorselMode,
     /// Injected fault schedule (`None` = fault-free operation).
     pub faults: Option<Arc<FaultPlan>>,
     /// Heartbeat-patrol interval in wall milliseconds. `0` disables the
@@ -130,6 +171,7 @@ impl ExecConfig {
             out_batch_tuples: 256,
             cpu_batch_seconds: 0.01,
             data_path: DataPath::Decontended,
+            morsel_mode: MorselMode::stealing(),
             faults: None,
             patrol_ms: 0,
             patrol_grace: 3,
@@ -151,6 +193,12 @@ impl ExecConfig {
     /// This configuration switched to the seed's global-lock data path.
     pub fn with_data_path(mut self, path: DataPath) -> Self {
         self.data_path = path;
+        self
+    }
+
+    /// This configuration switched to the given work-distribution mode.
+    pub fn with_morsel_mode(mut self, mode: MorselMode) -> Self {
+        self.morsel_mode = mode;
         self
     }
 
@@ -195,6 +243,13 @@ impl ExecConfig {
         match self.data_path {
             DataPath::Decontended => self.bufpool_shards.max(1),
             DataPath::GlobalLock => 1,
+        }
+    }
+
+    fn effective_morsel_mode(&self) -> MorselMode {
+        match self.data_path {
+            DataPath::Decontended => self.morsel_mode,
+            DataPath::GlobalLock => MorselMode::StaticShares,
         }
     }
 
@@ -447,6 +502,10 @@ pub struct ExecReport {
     pub stats: MachineStats,
     /// Per-shard buffer-pool counters (empty when buffering is disabled).
     pub pool_shards: Vec<xprs_storage::PoolStats>,
+    /// Buffer-pool pins still outstanding when the run finished. Any value
+    /// above zero is a pin leak: some reader fetched a page and never
+    /// released it, permanently shrinking the pool.
+    pub pool_pinned_at_exit: u64,
     /// Total wall-clock seconds.
     pub wall: f64,
     /// Per-fragment `(task, start, finish)` wall times.
@@ -565,9 +624,11 @@ impl Executor {
         let machine = Arc::new(machine);
         let pool = WorkerPool::new(match self.cfg.data_path {
             DataPath::Decontended => self.cfg.machine.n_procs as usize,
-            DataPath::GlobalLock => 0, // seed path never touches the pool
+            // The baseline pool starts empty and grows to peak concurrent
+            // demand — capped reuse instead of the seed's spawn-per-slot.
+            DataPath::GlobalLock => 0,
         });
-        let backends = Backends::new(&pool, self.cfg.data_path == DataPath::Decontended);
+        let backends = Backends::new(&pool);
         let (tx, rx) = channel::<MasterMsg>();
         let t0 = Instant::now();
 
@@ -815,6 +876,7 @@ impl Executor {
             results,
             stats: machine.stats(),
             pool_shards: machine.pool_shard_stats(),
+            pool_pinned_at_exit: machine.pool_pinned(),
             wall,
             fragment_times: frags
                 .iter()
@@ -893,8 +955,7 @@ impl Executor {
                     ways: 1,
                     parallel: false,
                 };
-                if !backends.use_pool
-                    || ways <= 1
+                if ways <= 1
                     || runs.len() <= 1
                     || total < self.cfg.parallel_merge_min_rows.max(1)
                 {
@@ -1018,23 +1079,24 @@ impl Executor {
             inputs.insert(local, out);
         }
 
-        // Partition state + work-unit count per driver.
+        // The fragment's unit space per driver: pages for a sequential
+        // scan, a key interval for index scans and key-domain walks.
         let missing = |name: &str| ControlFail::Relation { fragment: gid, name: name.to_string() };
-        let (partition, total_units) = match frags[gid].program.driver {
+        let units = match frags[gid].program.driver {
             Driver::PageScan { rel } => {
                 let name = &frags[gid].bindings[rel].name;
                 let relation = self.catalog.get(name).ok_or_else(|| missing(name))?;
-                let n = relation.heap.n_blocks();
-                (PartitionState::Page(PagePartition::new(n, x)), n)
+                UnitSpace::Pages(relation.heap.n_blocks())
             }
             Driver::KeyScan { rel } => {
                 let binding = &frags[gid].bindings[rel];
                 let relation =
                     self.catalog.get(&binding.name).ok_or_else(|| missing(&binding.name))?;
                 let s = relation.stats();
-                let lo = binding.pred.0.max(s.min_a) as i64;
-                let hi = binding.pred.1.min(s.max_a) as i64;
-                range_partition(lo, hi, x)
+                UnitSpace::Keys {
+                    lo: binding.pred.0.max(s.min_a) as i64,
+                    hi: binding.pred.1.min(s.max_a) as i64,
+                }
             }
             Driver::KeyDomain => {
                 // Intersection of the materialized inputs' key ranges.
@@ -1047,8 +1109,21 @@ impl Executor {
                         hi = hi.min(m.max_key().map_or(i64::MIN, |k| k as i64));
                     }
                 }
-                range_partition(lo, hi, x)
+                UnitSpace::Keys { lo, hi }
             }
+        };
+        let total = units.total();
+        let (partition, total_units) = match self.cfg.effective_morsel_mode() {
+            // The packed claim word addresses 31 bits of units; a larger
+            // fragment (never seen in practice) falls back to static shares.
+            MorselMode::Stealing { morsel_units } if total > 0 && total < MAX_STEAL_UNITS => {
+                let part = Arc::new(StealPartition::new(total, morsel_units, x, gid as u64));
+                (PartitionState::Morsel { part, key_base: units.base() }, total)
+            }
+            _ => match units {
+                UnitSpace::Pages(n) => (PartitionState::Page(PagePartition::new(n, x)), n),
+                UnitSpace::Keys { lo, hi } => range_partition(lo, hi, x),
+            },
         };
 
         let ctx = Arc::new(FragCtx {
@@ -1112,6 +1187,7 @@ impl Executor {
             match &mut *p {
                 PartitionState::Page(pp) => (pp.adjust(x), pp.active_slots()),
                 PartitionState::Range(rp) => (rp.adjust(x), rp.active_slots()),
+                PartitionState::Morsel { part, .. } => (part.adjust(x), part.active_slots()),
             }
         };
         for slot in info.new_slots {
@@ -1132,26 +1208,23 @@ impl Executor {
     }
 }
 
-/// How worker slots become running threads: the persistent pool
-/// (production), or one freshly spawned OS thread per slot (the seed's
-/// behaviour, kept measurable under [`DataPath::GlobalLock`]).
+/// How worker slots become running threads: always the persistent
+/// [`WorkerPool`]. The seed spawned one fresh OS thread per slot under
+/// [`DataPath::GlobalLock`], which at 8 workers × dozens of queries meant
+/// hundreds of thread spawns per bench run — the A/B baseline was
+/// measuring thread churn, not lock contention. Both paths now staff
+/// through the pool (a queue push that unparks a long-lived thread); the
+/// pool grows on demand to the *peak concurrent* slot count and no
+/// further, so GlobalLock keeps its contended data path but sheds the
+/// spawn storm.
 struct Backends<'a> {
     pool: &'a WorkerPool,
-    direct: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    use_pool: bool,
     staffed: AtomicU64,
-    spawned_direct: AtomicU64,
 }
 
 impl<'a> Backends<'a> {
-    fn new(pool: &'a WorkerPool, use_pool: bool) -> Self {
-        Backends {
-            pool,
-            direct: Mutex::new(Vec::new()),
-            use_pool,
-            staffed: AtomicU64::new(0),
-            spawned_direct: AtomicU64::new(0),
-        }
+    fn new(pool: &'a WorkerPool) -> Self {
+        Backends { pool, staffed: AtomicU64::new(0) }
     }
 
     /// Staff worker slot `slot` of `ctx`: accounts the worker in the
@@ -1184,25 +1257,17 @@ impl<'a> Backends<'a> {
             }
             ctx.worker_exit();
         };
-        if self.use_pool {
-            self.pool.submit(Box::new(job));
-        } else {
-            self.spawned_direct.fetch_add(1, Ordering::Relaxed);
-            lock(&self.direct).push(std::thread::spawn(job));
-        }
+        self.pool.submit(Box::new(job));
     }
 
-    /// OS threads created so far, whichever staffing mode is in use.
+    /// OS threads created so far.
     fn threads_spawned(&self) -> u64 {
-        self.pool.threads_spawned() + self.spawned_direct.load(Ordering::Relaxed)
+        self.pool.threads_spawned()
     }
 
     /// Run everything down and join every thread this run created.
     fn shutdown(&self) {
         self.pool.shutdown();
-        for h in std::mem::take(&mut *lock(&self.direct)) {
-            let _ = h.join();
-        }
     }
 }
 
@@ -1313,6 +1378,7 @@ impl Patrol {
                         match &mut *p {
                             PartitionState::Page(pp) => pp.fail_slot(slot),
                             PartitionState::Range(rp) => rp.fail_slot(slot),
+                            PartitionState::Morsel { part, .. } => part.fail_slot(slot),
                         }
                     };
                     backends.staff(ctx, replacement, machine, catalog);
@@ -1453,6 +1519,36 @@ fn drain(frags: &[FragSlot], backends: &Backends<'_>) {
         }
     }
     backends.shutdown();
+}
+
+/// A fragment's unit space before it is wrapped in a partition: heap pages
+/// or an inclusive key interval.
+enum UnitSpace {
+    Pages(u64),
+    Keys { lo: i64, hi: i64 },
+}
+
+impl UnitSpace {
+    fn total(&self) -> u64 {
+        match *self {
+            UnitSpace::Pages(n) => n,
+            UnitSpace::Keys { lo, hi } => {
+                if hi < lo {
+                    0
+                } else {
+                    (hi - lo + 1) as u64
+                }
+            }
+        }
+    }
+
+    /// Key that unit offset 0 maps to (0 for page scans).
+    fn base(&self) -> i64 {
+        match *self {
+            UnitSpace::Pages(_) => 0,
+            UnitSpace::Keys { lo, .. } => lo,
+        }
+    }
 }
 
 fn range_partition(lo: i64, hi: i64, x: u32) -> (PartitionState, u64) {

@@ -36,8 +36,12 @@ use crate::master::ExecReport;
 /// default) costs one branch per instrumented site.
 #[derive(Debug, Default)]
 pub struct ExecMetrics {
-    /// Wall nanoseconds each CPU-gate acquisition waited before getting a
-    /// processor permit — the measured cost of over-staffing the machine.
+    /// Wall nanoseconds each *contended* CPU-gate acquisition waited before
+    /// getting a processor permit — the measured cost of over-staffing the
+    /// machine. Uncontended grants are zero waits and are not recorded:
+    /// `count` is "acquisitions that waited", kept off the hot path so the
+    /// obs overhead gate's 2% budget survives (see
+    /// [`Machine::compute`](crate::io::Machine::compute)).
     pub gate_wait_ns: Histogram,
     /// Read attempts that failed on an injected transient error and were
     /// retried (each retry re-occupies the disk for a full service time).
@@ -52,6 +56,24 @@ pub struct ExecMetrics {
     pub merge_runs: Histogram,
     /// Rows per sorted worker run (the shape `split_runs` has to balance).
     pub merge_run_rows: Histogram,
+    /// Morsels taken from a victim's deque instead of the worker's own
+    /// (the work-stealing path earning its keep). Exact: accumulated in
+    /// worker-local integers, flushed to this counter at worker exit.
+    pub steals: Counter,
+    /// Morsel searches that found every deque empty — the worker retired.
+    /// Exact, flushed at worker exit like [`Self::steals`].
+    pub steal_fails: Counter,
+    /// Wall nanoseconds spent processing one claimed morsel end to end.
+    /// *Sampled*: one morsel episode in `MORSEL_SAMPLE` (8) reads the
+    /// clock and lands here, so `count` is ~1/8 of the morsels run —
+    /// per-morsel clock reads and histogram RMWs on every episode would
+    /// blow the obs overhead gate's 2% budget on a single-core host.
+    pub morsel_ns: Histogram,
+    /// Wall nanoseconds a worker spent in morsel searches that left its
+    /// own deque — successful steal sweeps and terminal empty-handed
+    /// sweeps. Sampled at the same 1-in-8 episode rate as
+    /// [`Self::morsel_ns`]; owner-deque pops are never recorded.
+    pub steal_idle_ns: Histogram,
 }
 
 /// How one fragment's output was materialized.
@@ -383,7 +405,7 @@ impl ExecReport {
                 )
             })
             .collect();
-        let (gate, io, merge_hist) = match &self.metrics {
+        let (gate, io, merge_hist, morsel) = match &self.metrics {
             Some(m) => (
                 m.gate_wait_ns.snapshot().to_json(),
                 format!(
@@ -397,8 +419,18 @@ impl ExecReport {
                     m.merge_runs.snapshot().to_json(),
                     m.merge_run_rows.snapshot().to_json()
                 ),
+                format!(
+                    "{{\"steals\":{},\"steal_fails\":{},\"morsel_ns\":{},\"steal_idle_ns\":{}}}",
+                    m.steals.get(),
+                    m.steal_fails.get(),
+                    m.morsel_ns.snapshot().to_json(),
+                    m.steal_idle_ns.snapshot().to_json()
+                ),
             ),
-            None => ("null".to_string(), "null".to_string(), "null".to_string()),
+            None => {
+                let null = || "null".to_string();
+                (null(), null(), null(), null())
+            }
         };
         format!(
             "{{\"schema\":{},\"machine\":{},\"scale\":{},\"wall\":{},\"reads\":{},\
@@ -408,7 +440,7 @@ impl ExecReport {
              \"disks\":[{}],\
              \"events\":{{\"staffed\":{},\"adjusts\":{},\"heartbeats\":{},\"patrol_ticks\":{},\
              \"recoveries\":{},\"recalibrations\":{},\"pool_threads\":{}}},\
-             \"gate_wait_ns\":{},\"io\":{},\"merge\":{},\
+             \"gate_wait_ns\":{},\"io\":{},\"merge\":{},\"morsel\":{},\
              \"queries\":[{}],\"utilization_audit\":{}}}",
             jstr("xprs-metrics/1"),
             machine_json(&self.machine),
@@ -434,6 +466,7 @@ impl ExecReport {
             gate,
             io,
             merge_hist,
+            morsel,
             queries.join(","),
             audit_json(&self.utilization_audit())
         )

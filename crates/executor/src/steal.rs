@@ -1,0 +1,455 @@
+//! Morsel-driven work stealing (the lock-light successor to the §2.4
+//! static shares).
+//!
+//! The fragment's unit space `[0, total_units)` is cut into fixed-size
+//! [`Morsel`]s which are dealt round-robin into per-worker deques — the
+//! morsel-granular analogue of the §2.4 residue-class shares, which keeps
+//! the deal's per-disk access pattern close to the static path's (a
+//! contiguous block deal measurably degrades the striped disks' service
+//! classification). A worker takes its next morsel from the front of its
+//! own deque; when that runs dry it steals the back half of a victim's
+//! *pending* morsels, visiting victims in a seeded deterministic order. Within a claimed morsel the
+//! worker claims units one at a time on a **private atomic** — no lock, no
+//! shared cursor — so the per-unit hot path costs one uncontended RMW where
+//! the static-share path paid one fragment-global mutex round.
+//!
+//! Two rules keep the initial deal meaningful: the grain is clamped so a
+//! fragment with at least `parallelism` units deals at least one morsel to
+//! every slot, and a thief never takes the *last* pending morsel of a slot
+//! that has not begun working. Together they guarantee every staffed slot
+//! processes at least one unit of a large-enough fragment — first-touch
+//! stays local, and per-slot fault-injection points (`kill slot s after
+//! k units`) remain deterministic under stealing.
+//!
+//! # Exactly-once under revocation
+//!
+//! All deque traffic (take, steal, [`StealPartition::fail_slot`],
+//! [`StealPartition::adjust`]) serializes on one coordinator latch taken
+//! once per *morsel*, not per unit — lock-light by amortization. The
+//! per-slot claim word packs `(revoked, end, cursor)` into one `AtomicU64`;
+//! the owner advances `cursor` with a CAS loop and revocation sets the
+//! `REVOKED` bit with `fetch_or` while holding the latch. Because both are
+//! RMWs on the same word, the hardware totally orders them: every unit
+//! index is observed exactly once, either by the owner (cursor advanced
+//! before revocation landed) or by the reclaimer (the remainder
+//! `[cursor, end)` read back from the `fetch_or`). A falsely-declared-dead
+//! worker — stalled, not dead — therefore finishes the units it already
+//! claimed and retires at its next claim; the replacement starts exactly
+//! where the revocation cursor stood, and no unit is processed twice or
+//! dropped. This is the morsel-granular analogue of the static path's
+//! "cursor advances at claim time" argument.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xprs_storage::partition::{morselize, AdjustInfo, Morsel};
+
+use crate::io::lock;
+
+/// Claim-word revocation bit. The low 32 bits hold the cursor, the next 31
+/// the in-flight morsel's end, so `total_units` must fit in 31 bits (the
+/// master falls back to static shares otherwise).
+const REVOKED: u64 = 1 << 63;
+
+/// Largest unit count the packed claim word can address.
+pub const MAX_STEAL_UNITS: u64 = 1 << 31;
+
+fn pack(cursor: u64, end: u64) -> u64 {
+    debug_assert!(cursor <= end && end < MAX_STEAL_UNITS);
+    (end << 32) | cursor
+}
+
+fn unpack(word: u64) -> (u64, u64) {
+    (word & 0xFFFF_FFFF, (word >> 32) & (MAX_STEAL_UNITS - 1))
+}
+
+/// One worker slot's share of the deque layer.
+struct SlotState {
+    /// Morsels dealt or stolen to this slot but not yet begun. Owned from
+    /// the front, stolen from the back.
+    pending: VecDeque<Morsel>,
+    /// The packed `(revoked, end, cursor)` claim word; shared with the
+    /// owning worker's unit fast path.
+    claim: Arc<AtomicU64>,
+    /// A revoked slot hands out no further morsels (its pending work has
+    /// moved elsewhere) and its owner retires at the next claim.
+    revoked: bool,
+    /// Set once the slot's owner takes its first morsel. Until then thieves
+    /// leave the slot its last pending morsel (the first-morsel guarantee).
+    started: bool,
+}
+
+impl SlotState {
+    fn fresh(pending: VecDeque<Morsel>) -> Self {
+        SlotState { pending, claim: Arc::new(AtomicU64::new(0)), revoked: false, started: false }
+    }
+}
+
+/// A morsel handed to a worker, with its provenance (for steal counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextMorsel {
+    /// The claimed morsel; its units are now claimable on the slot's word.
+    pub morsel: Morsel,
+    /// Victim slot the morsel was stolen from (`None` = own deque).
+    pub stolen_from: Option<usize>,
+}
+
+/// Work-stealing morsel partition for one fragment.
+pub struct StealPartition {
+    inner: Mutex<Vec<SlotState>>,
+    seed: u64,
+    total_units: u64,
+}
+
+impl StealPartition {
+    /// Deal `[0, total_units)` in morsels of `morsel_units` round-robin
+    /// over `parallelism` slots. The grain is clamped to
+    /// `floor(total / parallelism)` so a fragment with at least
+    /// `parallelism` units deals every slot at least one morsel
+    /// (`ceil` would not: 28 units over 8 slots at grain `ceil = 4` is
+    /// only 7 morsels); fragments smaller than the slot count fall to
+    /// grain 1 to spread what little there is. `seed` fixes the victim
+    /// order for deterministic tests.
+    ///
+    /// # Panics
+    /// Panics if `total_units >= MAX_STEAL_UNITS` (the claim word cannot
+    /// address it; callers fall back to static shares first).
+    pub fn new(total_units: u64, morsel_units: u64, parallelism: u32, seed: u64) -> Self {
+        assert!(total_units < MAX_STEAL_UNITS, "unit space too large for the claim word");
+        let n = parallelism.max(1) as usize;
+        let grain = morsel_units.min(total_units / n as u64).max(1);
+        let mut slots: Vec<SlotState> =
+            (0..n).map(|_| SlotState::fresh(VecDeque::new())).collect();
+        for (i, m) in morselize(total_units, grain).into_iter().enumerate() {
+            slots[i % n].pending.push_back(m);
+        }
+        StealPartition { inner: Mutex::new(slots), seed, total_units }
+    }
+
+    /// Total units in the fragment.
+    pub fn total_units(&self) -> u64 {
+        self.total_units
+    }
+
+    /// The claim word `slot`'s owner uses for its per-unit fast path.
+    pub fn claim_of(&self, slot: usize) -> Arc<AtomicU64> {
+        lock(&self.inner)[slot].claim.clone()
+    }
+
+    /// Begin the slot's next morsel: own deque first, then steal the back
+    /// half of the first victim (in seeded order) with pending work. On
+    /// success the slot's claim word is armed with the morsel's range.
+    /// `None` means the slot is revoked or no pending morsel exists
+    /// anywhere — the worker retires.
+    pub fn next_morsel(&self, slot: usize) -> Option<NextMorsel> {
+        let mut slots = lock(&self.inner);
+        if slots[slot].revoked {
+            return None;
+        }
+        if let Some(m) = slots[slot].pending.pop_front() {
+            slots[slot].started = true;
+            arm(&slots[slot], m);
+            return Some(NextMorsel { morsel: m, stolen_from: None });
+        }
+        let n = slots.len();
+        for victim in victim_order(self.seed, slot, n) {
+            let len = slots[victim].pending.len();
+            // A victim that hasn't begun keeps its last pending morsel
+            // (the first-morsel guarantee); otherwise everything pending
+            // is fair game.
+            let stealable = if slots[victim].started { len } else { len.saturating_sub(1) };
+            if stealable == 0 {
+                continue;
+            }
+            // Steal the back half (round up, so a lone stealable morsel moves).
+            let tail = slots[victim].pending.split_off(len - stealable.div_ceil(2));
+            slots[slot].pending = tail;
+            let m = slots[slot].pending.pop_front().expect("stole at least one");
+            slots[slot].started = true;
+            arm(&slots[slot], m);
+            return Some(NextMorsel { morsel: m, stolen_from: Some(victim) });
+        }
+        None
+    }
+
+    /// Revoke `slot` (presumed dead), reclaim its *unclaimed* work — the
+    /// in-flight remainder `[cursor, end)` plus every pending morsel — into
+    /// a fresh replacement slot, and return the replacement's index.
+    ///
+    /// Units the owner claimed before the revocation landed stay its
+    /// responsibility: a stalled false positive finishes them and reports
+    /// them itself, which is exactly what keeps the ledger exactly-once.
+    pub fn fail_slot(&self, dead: usize) -> usize {
+        let mut slots = lock(&self.inner);
+        let mut reclaimed = VecDeque::new();
+        let already = slots[dead].revoked;
+        slots[dead].revoked = true;
+        let prev = slots[dead].claim.fetch_or(REVOKED, Ordering::SeqCst);
+        if !already && prev & REVOKED == 0 {
+            let (cursor, end) = unpack(prev);
+            if cursor < end {
+                reclaimed.push_back(Morsel { start: cursor, end });
+            }
+        }
+        reclaimed.append(&mut slots[dead].pending);
+        slots.push(SlotState::fresh(reclaimed));
+        slots.len() - 1
+    }
+
+    /// Adjust to `new_parallelism` active slots. Growing adds empty slots
+    /// (they immediately steal); shrinking revokes the highest-numbered
+    /// active slots and redistributes their unclaimed work round-robin
+    /// over the survivors. Mirrors the §2.4 protocols' contract: the
+    /// returned `new_slots` need staffing, `retiring_slots` drain at their
+    /// next claim.
+    pub fn adjust(&self, new_parallelism: u32) -> AdjustInfo {
+        let mut slots = lock(&self.inner);
+        let want = new_parallelism.max(1) as usize;
+        let active: Vec<usize> =
+            (0..slots.len()).filter(|&s| !slots[s].revoked).collect();
+        let mut info = AdjustInfo { new_slots: Vec::new(), retiring_slots: Vec::new() };
+        if active.len() < want {
+            for _ in active.len()..want {
+                slots.push(SlotState::fresh(VecDeque::new()));
+                info.new_slots.push(slots.len() - 1);
+            }
+            return info;
+        }
+        if active.len() == want {
+            return info;
+        }
+        let (survivors, retiring) = active.split_at(want);
+        let mut orphaned = VecDeque::new();
+        for &slot in retiring {
+            slots[slot].revoked = true;
+            let prev = slots[slot].claim.fetch_or(REVOKED, Ordering::SeqCst);
+            if prev & REVOKED == 0 {
+                let (cursor, end) = unpack(prev);
+                if cursor < end {
+                    orphaned.push_back(Morsel { start: cursor, end });
+                }
+            }
+            let mut pending = std::mem::take(&mut slots[slot].pending);
+            orphaned.append(&mut pending);
+            info.retiring_slots.push(slot);
+        }
+        for (i, m) in orphaned.into_iter().enumerate() {
+            slots[survivors[i % survivors.len()]].pending.push_back(m);
+        }
+        info
+    }
+
+    /// Slots not yet revoked (the master re-staffs exited slots that are
+    /// still active after an adjustment).
+    pub fn active_slots(&self) -> Vec<usize> {
+        let slots = lock(&self.inner);
+        (0..slots.len()).filter(|&s| !slots[s].revoked).collect()
+    }
+
+    /// Active slot count.
+    pub fn parallelism(&self) -> u32 {
+        self.active_slots().len() as u32
+    }
+
+    /// Total slots ever created (including revoked ones).
+    pub fn n_slots(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Units sitting in pending morsels (excludes in-flight remainders);
+    /// for tests and diagnostics.
+    pub fn pending_units(&self) -> u64 {
+        lock(&self.inner)
+            .iter()
+            .flat_map(|s| s.pending.iter())
+            .map(Morsel::len)
+            .sum()
+    }
+
+    /// Claim the next unit of the slot's in-flight morsel. Lock-free: one
+    /// CAS on the slot's private word. `None` means the morsel is
+    /// exhausted *or* the slot was revoked — either way the worker goes
+    /// back to [`StealPartition::next_morsel`], which settles the question
+    /// under the latch.
+    pub fn claim_unit(claim: &AtomicU64) -> Option<u64> {
+        claim
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |word| {
+                if word & REVOKED != 0 {
+                    return None;
+                }
+                let (cursor, end) = unpack(word);
+                (cursor < end).then(|| pack(cursor + 1, end))
+            })
+            .ok()
+            .map(|prev| prev & 0xFFFF_FFFF)
+    }
+}
+
+/// Arm the slot's claim word for a freshly taken morsel. Caller holds the
+/// latch and has checked `revoked == false`, and revocation only happens
+/// under the same latch, so a plain store cannot clobber a REVOKED bit.
+fn arm(slot: &SlotState, m: Morsel) {
+    slot.claim.store(pack(m.start, m.end), Ordering::SeqCst);
+}
+
+/// The victim visit order for `slot` among `n` slots: every other slot
+/// exactly once, rotated by a seed-and-slot-dependent offset so different
+/// workers fan out over different victims but any fixed seed replays the
+/// same order.
+fn victim_order(seed: u64, slot: usize, n: usize) -> impl Iterator<Item = usize> {
+    let offset = if n == 0 {
+        0
+    } else {
+        (seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) as usize % n
+    };
+    (1..=n).map(move |k| (slot + offset + k) % n).filter(move |&v| v != slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Drain every slot round-robin (claim a unit, else take a morsel) and
+    /// record who processed what.
+    fn drain(p: &StealPartition) -> Vec<u64> {
+        let mut seen = Vec::new();
+        let mut claims: Vec<_> = (0..p.n_slots()).map(|s| Some(p.claim_of(s))).collect();
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for (slot, entry) in claims.iter_mut().enumerate() {
+                let Some(claim) = entry else { continue };
+                if let Some(u) = StealPartition::claim_unit(claim) {
+                    seen.push(u);
+                    progressed = true;
+                } else if p.next_morsel(slot).is_some() {
+                    progressed = true;
+                } else {
+                    *entry = None;
+                }
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn every_unit_claimed_exactly_once() {
+        for (total, grain, workers) in [(100u64, 8u64, 4u32), (17, 5, 3), (7, 100, 2), (0, 4, 4)] {
+            let p = StealPartition::new(total, grain, workers, 42);
+            let mut seen = drain(&p);
+            seen.sort_unstable();
+            assert_eq!(seen, (0..total).collect::<Vec<_>>(), "({total},{grain},{workers})");
+        }
+    }
+
+    #[test]
+    fn stealing_reaches_work_dealt_elsewhere() {
+        // 8 morsels, 4 per slot. Slot 1 drains its own deque, then must
+        // steal from slot 0 to see any more work.
+        let p = StealPartition::new(64, 8, 2, 7);
+        for _ in 0..4 {
+            let own = p.next_morsel(1).expect("own deque first");
+            assert_eq!(own.stolen_from, None);
+        }
+        let next = p.next_morsel(1).expect("slot 1 finds work by stealing");
+        assert_eq!(next.stolen_from, Some(0));
+    }
+
+    #[test]
+    fn unstarted_owner_keeps_its_last_morsel() {
+        // Grain clamps to ceil(3/3)=1: one morsel per slot. No thief may
+        // take an unstarted owner's only morsel, so slot 0 retires empty-
+        // handed while slots 1 and 2 keep their guaranteed first morsel.
+        let p = StealPartition::new(3, 100, 3, 11);
+        assert_eq!(p.next_morsel(0).expect("own morsel").stolen_from, None);
+        assert!(p.next_morsel(0).is_none(), "reserved morsels are not stealable");
+        assert_eq!(p.pending_units(), 2);
+        // Once an owner starts, its surplus (everything but in-flight) is
+        // fair game again.
+        assert_eq!(p.next_morsel(1).expect("own morsel").stolen_from, None);
+        assert!(p.next_morsel(1).is_none(), "slot 2 never started; its morsel is kept");
+        assert_eq!(p.next_morsel(2).expect("own morsel").stolen_from, None);
+    }
+
+    #[test]
+    fn fail_slot_reclaims_unclaimed_remainder_only() {
+        let p = StealPartition::new(32, 8, 1, 0);
+        let claim = p.claim_of(0);
+        p.next_morsel(0).expect("first morsel");
+        // Owner claims 3 of the 8 in-flight units, then is declared dead.
+        for want in 0..3 {
+            assert_eq!(StealPartition::claim_unit(&claim), Some(want));
+        }
+        let replacement = p.fail_slot(0);
+        // The owner's next claim refuses (revoked).
+        assert_eq!(StealPartition::claim_unit(&claim), None);
+        assert!(p.next_morsel(0).is_none(), "revoked slot draws no morsel");
+        // The replacement sees exactly the remainder plus the pending tail.
+        let p2 = replacement;
+        let mut seen = Vec::new();
+        let claim2 = p.claim_of(p2);
+        loop {
+            if let Some(u) = StealPartition::claim_unit(&claim2) {
+                seen.push(u);
+            } else if p.next_morsel(p2).is_none() {
+                break;
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (3..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn double_fail_does_not_duplicate_the_remainder() {
+        let p = StealPartition::new(16, 8, 1, 0);
+        let claim = p.claim_of(0);
+        p.next_morsel(0).expect("morsel");
+        assert_eq!(StealPartition::claim_unit(&claim), Some(0));
+        let r1 = p.fail_slot(0);
+        let r2 = p.fail_slot(0);
+        assert_ne!(r1, r2);
+        let mut seen = Vec::new();
+        for slot in [r1, r2] {
+            let c = p.claim_of(slot);
+            loop {
+                if let Some(u) = StealPartition::claim_unit(&c) {
+                    seen.push(u);
+                } else if p.next_morsel(slot).is_none() {
+                    break;
+                }
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..16).collect::<Vec<_>>(), "remainder reclaimed exactly once");
+    }
+
+    #[test]
+    fn adjust_grows_and_shrinks() {
+        let p = StealPartition::new(64, 4, 2, 3);
+        let info = p.adjust(4);
+        assert_eq!(info.new_slots, vec![2, 3]);
+        assert!(info.retiring_slots.is_empty());
+        assert_eq!(p.parallelism(), 4);
+        let info = p.adjust(1);
+        assert_eq!(info.retiring_slots, vec![1, 2, 3]);
+        assert_eq!(p.parallelism(), 1);
+        // Survivor still drains everything.
+        let mut seen = drain(&p);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn victim_order_is_deterministic_and_complete() {
+        for slot in 0..5 {
+            let a: Vec<usize> = victim_order(9, slot, 5).collect();
+            let b: Vec<usize> = victim_order(9, slot, 5).collect();
+            assert_eq!(a, b, "same seed must replay the same order");
+            let set: HashSet<usize> = a.iter().copied().collect();
+            assert_eq!(set.len(), 4, "every other slot visited once: {a:?}");
+            assert!(!set.contains(&slot));
+        }
+    }
+}

@@ -31,7 +31,7 @@ use std::mem;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use xprs_disk::{RelId, WorkerFaultKind};
 use xprs_storage::partition::{PagePartition, RangePartition};
@@ -40,7 +40,9 @@ use xprs_storage::{Catalog, Relation, Tuple};
 
 use crate::io::{lock, IoFault, Machine};
 use crate::master::MasterMsg;
+use crate::obs::ExecMetrics;
 use crate::program::{Driver, FragmentProgram, Materialized, PipelineOp};
+use crate::steal::StealPartition;
 
 /// Per-query-relation execution binding: catalog name plus the concrete
 /// selection range on `a` the query applies.
@@ -64,6 +66,15 @@ pub(crate) enum PartitionState {
     Page(PagePartition),
     /// Range-partitioned scan / key-domain walk.
     Range(RangePartition),
+    /// Morsel-driven work stealing over unit indices `[0, total_units)`.
+    /// The fragment mutex is taken once, to discover the variant; all
+    /// further coordination lives inside the [`StealPartition`].
+    Morsel {
+        /// The stealing deque layer.
+        part: Arc<StealPartition>,
+        /// Key a unit offset of 0 maps to (0 for page scans).
+        key_base: i64,
+    },
 }
 
 /// The fragment's result sink: one **locally sorted run** per worker
@@ -212,6 +223,17 @@ impl FragCtx {
         debug_assert!(done <= self.total_units);
     }
 
+    /// Record `n` finished units in one report — the morsel path's
+    /// amortized master/worker handoff (one fetch-add per morsel episode
+    /// instead of one per unit).
+    fn report_units(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let done = self.units_done.fetch_add(n, Ordering::SeqCst) + n;
+        debug_assert!(done <= self.total_units);
+    }
+
     /// One worker job has fully exited (buffers flushed). Fires the done
     /// message when it was the last live worker and all units are finished.
     pub(crate) fn worker_exit(&self) {
@@ -336,6 +358,23 @@ pub(crate) fn run_worker(
         beats[slot].clone()
     };
     heartbeat.fetch_add(1, Ordering::Relaxed);
+    // The partition variant never changes after staffing: discover it once
+    // and dispatch. The morsel path takes the fragment mutex exactly this
+    // once; the static paths keep taking it per unit, as the seed did.
+    let stealing = {
+        let p = lock(&ctx.partition);
+        match &*p {
+            PartitionState::Morsel { part, key_base } => Some((part.clone(), *key_base)),
+            _ => None,
+        }
+    };
+    if let Some((part, key_base)) = stealing {
+        if run_morsel_worker(ctx, slot, machine, catalog, &mut ws, &heartbeat, &part, key_base) {
+            return; // injected death: vanish without registering the exit
+        }
+        worker_epilogue(ctx, slot, &mut ws);
+        return;
+    }
     let mut my_units = 0u64;
     loop {
         if ctx.aborted.load(Ordering::Relaxed) {
@@ -366,6 +405,7 @@ pub(crate) fn run_worker(
             match &mut *p {
                 PartitionState::Page(pp) => pp.next_page(slot).map(Unit::Page),
                 PartitionState::Range(rp) => rp.next_key(slot).map(Unit::Key),
+                PartitionState::Morsel { .. } => unreachable!("dispatched above"),
             }
         };
         let Some(unit) = unit else { break };
@@ -377,6 +417,12 @@ pub(crate) fn run_worker(
         my_units += 1;
         heartbeat.fetch_add(1, Ordering::Relaxed);
     }
+    worker_epilogue(ctx, slot, &mut ws);
+}
+
+/// Shared worker exit path: flush the local run, surface any recorded
+/// faults, and register the voluntary exit (so the patrol never reaps it).
+fn worker_epilogue(ctx: &Arc<FragCtx>, slot: usize, ws: &mut WorkerState<'_>) {
     ws.settle(ctx);
     if let Some(fault) = ws.io_fault.take() {
         let _ = ctx.done_tx.send(MasterMsg::IoFault { gid: ctx.gid, fault });
@@ -385,6 +431,126 @@ pub(crate) fn run_worker(
         let _ = ctx.done_tx.send(MasterMsg::IndexMissing { gid: ctx.gid, name });
     }
     lock(&ctx.exited_slots).push(slot);
+}
+
+/// Morsel-driven worker loop: claim a morsel (own deque, else steal),
+/// claim its units one CAS at a time, and settle the completion ledger
+/// **once per morsel** instead of once per unit. Returns `true` when an
+/// injected death fired — the caller vanishes without registering an exit,
+/// so the heartbeat patrol detects the corpse and reclaims the morsel's
+/// unclaimed remainder through [`StealPartition::fail_slot`].
+#[allow(clippy::too_many_arguments)]
+fn run_morsel_worker(
+    ctx: &Arc<FragCtx>,
+    slot: usize,
+    machine: &Machine,
+    catalog: &Catalog,
+    ws: &mut WorkerState<'_>,
+    heartbeat: &Arc<AtomicU64>,
+    part: &StealPartition,
+    key_base: i64,
+) -> bool {
+    let metrics = machine.metrics().cloned();
+    let claim = part.claim_of(slot);
+    let mut my_units = 0u64;
+    let mut batch = 0u64; // units finished but not yet reported
+    // Enabled-metrics cost discipline: steal/fail *counts* accumulate in
+    // worker-local integers and flush to the shared registry once at exit
+    // (they stay exact); the latency histograms are *sampled* — one morsel
+    // episode in `MORSEL_SAMPLE` pays the clock reads and shared-histogram
+    // RMWs, the rest touch nothing shared. On a single-core host every
+    // vdso clock read and cache-line RMW is serial wall time, and the obs
+    // overhead gate holds the whole enabled path to ~2% of scan wall.
+    let mut episodes = 0u64;
+    let mut loc_steals = 0u64;
+    let mut loc_fails = 0u64;
+    'morsels: loop {
+        if ctx.aborted.load(Ordering::Relaxed) {
+            break;
+        }
+        let sampled = metrics.is_some() && episodes.is_multiple_of(MORSEL_SAMPLE);
+        episodes += 1;
+        let t_search = if sampled { Some(Instant::now()) } else { None };
+        let Some(next) = part.next_morsel(slot) else {
+            loc_fails += 1;
+            if let (Some(m), Some(t0)) = (&metrics, t_search) {
+                m.steal_idle_ns.observe(t0.elapsed().as_nanos() as u64);
+            }
+            break;
+        };
+        let mut morsel_t0 = t_search;
+        if next.stolen_from.is_some() {
+            loc_steals += 1;
+            if let (Some(m), Some(t0)) = (&metrics, t_search) {
+                let t1 = Instant::now();
+                m.steal_idle_ns.observe(t1.duration_since(t0).as_nanos() as u64);
+                morsel_t0 = Some(t1);
+            }
+        }
+        loop {
+            if ctx.aborted.load(Ordering::Relaxed) {
+                break;
+            }
+            // Faults fire at unit boundaries, exactly as on the static
+            // path: a death leaves no unit half-done, and the units this
+            // incarnation claimed are flushed and reported before it
+            // vanishes — the patrol reclaims only what was never claimed.
+            if let Some(plan) = machine.fault_plan() {
+                match plan.take_worker_fault(ctx.gid, slot, my_units) {
+                    Some(WorkerFaultKind::Death) => {
+                        ctx.report_units(batch);
+                        ws.settle(ctx);
+                        flush_steal_counts(&metrics, loc_steals, loc_fails);
+                        return true;
+                    }
+                    Some(WorkerFaultKind::Stall { millis }) => {
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                    None => {}
+                }
+            }
+            let Some(unit) = StealPartition::claim_unit(&claim) else {
+                break; // morsel exhausted or slot revoked: back to the deques
+            };
+            match ctx.program.driver {
+                Driver::PageScan { .. } => scan_page(ctx, catalog, unit, ws),
+                Driver::KeyScan { .. } | Driver::KeyDomain => {
+                    scan_key(ctx, catalog, key_base + unit as i64, ws);
+                }
+            }
+            my_units += 1;
+            batch += 1;
+            heartbeat.fetch_add(1, Ordering::Relaxed);
+        }
+        // Amortized handoff: one completion report per morsel episode.
+        ctx.report_units(batch);
+        batch = 0;
+        if let (Some(m), Some(t0)) = (&metrics, morsel_t0) {
+            m.morsel_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+        if ctx.aborted.load(Ordering::Relaxed) {
+            break 'morsels;
+        }
+    }
+    ctx.report_units(batch);
+    flush_steal_counts(&metrics, loc_steals, loc_fails);
+    false
+}
+
+/// Latency-histogram sampling rate on the morsel path: one episode in this
+/// many reads the clock and touches the shared histograms. The steal/fail
+/// counters are exact regardless — they accumulate locally and flush here.
+const MORSEL_SAMPLE: u64 = 8;
+
+fn flush_steal_counts(metrics: &Option<Arc<ExecMetrics>>, steals: u64, fails: u64) {
+    if let Some(m) = metrics {
+        if steals > 0 {
+            m.steals.add(steals);
+        }
+        if fails > 0 {
+            m.steal_fails.add(fails);
+        }
+    }
 }
 
 /// Page-scan driver: read one heap page, filter, run the pipeline.

@@ -171,6 +171,13 @@ impl BufferPool {
         self.capacity
     }
 
+    /// Sum of outstanding pin counts across all frames. Zero once every
+    /// reader has paired its fetch with an unpin — the pin-leak invariant
+    /// the eviction stress tests assert after a run.
+    pub fn pinned(&self) -> u64 {
+        self.frames.iter().map(|f| u64::from(f.pins)).sum()
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> PoolStats {
         self.stats

@@ -392,10 +392,77 @@ fn split_evenly(intervals: &[KeyRange], n: usize) -> Vec<Vec<KeyRange>> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Morsels
+// ---------------------------------------------------------------------------
+
+/// A fixed-size contiguous range of work units — heap pages for a
+/// sequential scan, key offsets for an index scan or key-domain walk. The
+/// morsel is the grain of the work-stealing execution path: a worker claims
+/// a whole morsel, then claims its units one by one on a private atomic,
+/// and idle workers steal *whole pending morsels* from victims' deques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First unit (inclusive).
+    pub start: u64,
+    /// One past the last unit (exclusive).
+    pub end: u64,
+}
+
+impl Morsel {
+    /// Units covered.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Does the morsel cover no units?
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Decompose `[0, total_units)` into fixed-size morsels of `morsel_units`
+/// each; the final morsel may be short. `morsel_units` is clamped to ≥ 1.
+/// Morsels tile the unit space exactly: disjoint, in order, covering every
+/// unit once.
+pub fn morselize(total_units: u64, morsel_units: u64) -> Vec<Morsel> {
+    let grain = morsel_units.max(1);
+    let mut out = Vec::with_capacity(total_units.div_ceil(grain) as usize);
+    let mut start = 0;
+    while start < total_units {
+        let end = (start + grain).min(total_units);
+        out.push(Morsel { start, end });
+        start = end;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashMap;
+
+    #[test]
+    fn morselize_tiles_the_unit_space() {
+        for total in [0u64, 1, 7, 16, 17, 100] {
+            for grain in [0u64, 1, 4, 16, 1000] {
+                let morsels = morselize(total, grain);
+                let mut next = 0;
+                for m in &morsels {
+                    assert_eq!(m.start, next, "gap or overlap at {next}");
+                    assert!(!m.is_empty(), "empty morsel in {morsels:?}");
+                    assert!(m.len() <= grain.max(1));
+                    next = m.end;
+                }
+                assert_eq!(next, total, "units uncovered ({total}, {grain})");
+            }
+        }
+    }
+
+    #[test]
+    fn morselize_zero_units_is_empty() {
+        assert!(morselize(0, 8).is_empty());
+    }
 
     #[test]
     fn next_congruent_arithmetic() {

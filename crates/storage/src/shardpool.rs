@@ -122,6 +122,12 @@ impl ShardedBufferPool {
         self.shards.iter().map(|s| latch(s).stats()).collect()
     }
 
+    /// Outstanding pins summed over all shards (zero when no read is
+    /// between `access` and `finish_read`).
+    pub fn pinned(&self) -> u64 {
+        self.shards.iter().map(|s| latch(s).pinned()).sum()
+    }
+
     /// Resident page count per shard, indexed by shard.
     pub fn shard_resident(&self) -> Vec<usize> {
         self.shards.iter().map(|s| latch(s).resident()).collect()

@@ -12,7 +12,7 @@ use xprs_storage::{PAGE_HEADER, PAGE_SIZE};
 /// Per-tuple line-pointer plus header overhead already counted by
 /// `Tuple::stored_size` for an `(Int, Text)` row beyond the text bytes:
 /// 4 (tuple header) + 2 (line pointer) + 4 (int) + 4 (text length).
-const ROW_OVERHEAD: usize = 14;
+pub(crate) const ROW_OVERHEAD: usize = 14;
 
 /// CPU-cost calibration constants.
 #[derive(Debug, Clone, PartialEq)]

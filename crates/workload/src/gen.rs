@@ -119,6 +119,177 @@ impl Default for WorkloadGenerator {
     }
 }
 
+/// Specification of a larger-than-memory scan workload: every relation is
+/// `spill_factor` times the buffer pool, so a scan cannot be served from
+/// cache and every worker share is disk traffic — the paper's §3 regime,
+/// and the one where morsel stealing has to earn its keep.
+///
+/// Block costs are deliberately **skewed**: a seeded fraction of pages are
+/// *dense* (many thin tuples — per-page CPU dominates) and the rest are
+/// *fat* (one page-filling tuple — pure I/O), laid out in contiguous runs.
+/// A static §2.4 share that lands on a dense run is many times more
+/// expensive than its neighbours, which is exactly the imbalance work
+/// stealing exists to flatten.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskResidentSpec {
+    /// RNG seed; the layout and keys are a pure function of the spec.
+    pub seed: u64,
+    /// Buffer-pool size the workload must spill past.
+    pub bufpool_pages: u64,
+    /// Relation size as a multiple of the buffer pool (the paper range
+    /// is 4–16×).
+    pub spill_factor: u64,
+    /// Relations to generate (two lets IO-heavy scans co-run for the
+    /// §2.2 pairing-window audit).
+    pub n_relations: usize,
+    /// Fraction of pages that are dense (CPU-heavy).
+    pub dense_fraction: f64,
+    /// Longest contiguous run of same-class pages; longer runs make the
+    /// static-share imbalance coarser.
+    pub max_run: u64,
+    /// Dense-page `b`-attribute length (thin tuples, many per page).
+    pub dense_blen: usize,
+    /// Join keys are uniform in `0..key_mod`.
+    pub key_mod: u64,
+}
+
+impl DiskResidentSpec {
+    /// The paper-shaped spec: two relations at `spill_factor`× the pool,
+    /// a quarter of the pages dense in runs of up to 8.
+    pub fn paper(bufpool_pages: u64, spill_factor: u64, seed: u64) -> Self {
+        DiskResidentSpec {
+            seed,
+            bufpool_pages,
+            spill_factor,
+            n_relations: 2,
+            dense_fraction: 0.25,
+            max_run: 8,
+            dense_blen: 50,
+            key_mod: 1000,
+        }
+    }
+
+    /// Heap pages per generated relation.
+    pub fn pages_per_relation(&self) -> u64 {
+        self.bufpool_pages * self.spill_factor
+    }
+}
+
+/// One generated disk-resident relation: its page-class layout plus the
+/// page/tuple counts the loaded catalog must realize exactly.
+#[derive(Debug, Clone)]
+pub struct DiskResidentRelation {
+    /// Catalog name (`dr_<seed>_<idx>`).
+    pub name: String,
+    /// `page_class[p]` is `true` when heap page `p` is dense.
+    pub page_class: Vec<bool>,
+    /// Dense-page tuple count (each dense page holds exactly this many).
+    pub dense_tpp: u64,
+    /// Total tuples across all pages.
+    pub n_tuples: u64,
+}
+
+impl DiskResidentRelation {
+    /// Heap pages the relation occupies.
+    pub fn n_pages(&self) -> u64 {
+        self.page_class.len() as u64
+    }
+
+    /// Dense (CPU-heavy) pages.
+    pub fn dense_pages(&self) -> u64 {
+        self.page_class.iter().filter(|&&d| d).count() as u64
+    }
+}
+
+/// A generated larger-than-memory workload.
+#[derive(Debug, Clone)]
+pub struct DiskResidentWorkload {
+    /// The spec that produced it.
+    pub spec: DiskResidentSpec,
+    /// Generated relations in index order.
+    pub relations: Vec<DiskResidentRelation>,
+}
+
+impl DiskResidentWorkload {
+    /// Create and bulk-load every relation into `catalog`. Pages are built
+    /// to fill exactly — a dense page's tuples leave no room for one more,
+    /// a fat tuple fills its page — so the loaded heap realizes
+    /// `page_class` page for page.
+    pub fn load_into(&self, catalog: &mut Catalog) {
+        let fat_blen = fat_page_blen();
+        for rel in &self.relations {
+            catalog.create(&rel.name, xprs_storage::Schema::paper_rel());
+            let mut key_seed = self.spec.seed ^ 0xD15C_0000;
+            let mut rows = Vec::with_capacity(rel.n_tuples as usize);
+            for &dense in &rel.page_class {
+                let (count, blen) =
+                    if dense { (rel.dense_tpp, self.spec.dense_blen) } else { (1, fat_blen) };
+                for _ in 0..count {
+                    key_seed = key_seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let a = ((key_seed >> 33) % self.spec.key_mod) as i32;
+                    rows.push(Tuple::from_values(vec![
+                        Datum::Int(a),
+                        Datum::Text("x".repeat(blen)),
+                    ]));
+                }
+            }
+            catalog.load(&rel.name, rows);
+        }
+    }
+}
+
+/// `b`-length of a tuple that fills a heap page exactly (one per page).
+fn fat_page_blen() -> usize {
+    use xprs_storage::{PAGE_HEADER, PAGE_SIZE};
+    PAGE_SIZE - PAGE_HEADER - crate::calibrate::ROW_OVERHEAD
+}
+
+/// Dense-page tuple count for `blen`: the most thin tuples a page holds
+/// (so the page is full and the next tuple starts a new one).
+fn dense_tuples_per_page(blen: usize) -> u64 {
+    use xprs_storage::{PAGE_HEADER, PAGE_SIZE};
+    ((PAGE_SIZE - PAGE_HEADER) / (crate::calibrate::ROW_OVERHEAD + blen)) as u64
+}
+
+/// Generate the relations of `spec`. Deterministic per spec; panics if the
+/// spill factor falls outside the paper's 4–16× range.
+pub fn generate_disk_resident(spec: &DiskResidentSpec) -> DiskResidentWorkload {
+    assert!(
+        (4..=16).contains(&spec.spill_factor),
+        "spill factor {} outside the paper's 4-16x range",
+        spec.spill_factor
+    );
+    assert!(spec.bufpool_pages >= 1 && spec.n_relations >= 1);
+    assert!((0.0..=1.0).contains(&spec.dense_fraction));
+    let n_pages = spec.pages_per_relation();
+    let dense_tpp = dense_tuples_per_page(spec.dense_blen);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut relations = Vec::with_capacity(spec.n_relations);
+    for idx in 0..spec.n_relations {
+        // Deal page classes in runs: contiguous same-cost stretches make
+        // the static shares coarsely unbalanced.
+        let mut page_class = Vec::with_capacity(n_pages as usize);
+        while (page_class.len() as u64) < n_pages {
+            let run = rng.random_range(1..=spec.max_run.max(1));
+            let dense = rng.random::<f64>() < spec.dense_fraction;
+            for _ in 0..run.min(n_pages - page_class.len() as u64) {
+                page_class.push(dense);
+            }
+        }
+        let dense_pages = page_class.iter().filter(|&&d| d).count() as u64;
+        let n_tuples = dense_pages * dense_tpp + (n_pages - dense_pages);
+        relations.push(DiskResidentRelation {
+            name: format!("dr_{}_{idx}", spec.seed),
+            page_class,
+            dense_tpp,
+            n_tuples,
+        });
+    }
+    DiskResidentWorkload { spec: spec.clone(), relations }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +365,63 @@ mod tests {
                 t.relation, t.blen
             );
         }
+    }
+
+    #[test]
+    fn disk_resident_spills_past_the_pool_and_loads_exactly() {
+        let spec = DiskResidentSpec::paper(16, 4, 0xD15C);
+        let w = generate_disk_resident(&spec);
+        assert_eq!(w.relations.len(), 2);
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        w.load_into(&mut cat);
+        for rel in &w.relations {
+            assert_eq!(rel.n_pages(), 64, "4x a 16-page pool");
+            assert!(rel.n_pages() >= 4 * spec.bufpool_pages);
+            let stats = cat.get(&rel.name).expect("loaded").stats();
+            assert_eq!(stats.n_tuples, rel.n_tuples);
+            assert_eq!(
+                stats.n_blocks,
+                rel.n_pages(),
+                "page-exact layout for {} (dense_tpp {})",
+                rel.name,
+                rel.dense_tpp
+            );
+        }
+    }
+
+    #[test]
+    fn disk_resident_block_costs_are_skewed() {
+        let w = generate_disk_resident(&DiskResidentSpec::paper(64, 8, 9));
+        let rel = &w.relations[0];
+        let dense = rel.dense_pages();
+        assert!(dense > 0 && dense < rel.n_pages(), "both classes present");
+        // Per-page qualification work is proportional to the page's tuple
+        // count: dense pages cost dense_tpp times a fat page.
+        assert!(rel.dense_tpp >= 100, "dense pages are ~2 orders costlier");
+        // Runs make the skew coarse: at least one same-class run of > 1.
+        assert!(
+            rel.page_class.windows(2).any(|w| w[0] == w[1]),
+            "clustered runs expected"
+        );
+    }
+
+    #[test]
+    fn disk_resident_generation_is_deterministic() {
+        let spec = DiskResidentSpec::paper(32, 6, 77);
+        let a = generate_disk_resident(&spec);
+        let b = generate_disk_resident(&spec);
+        for (x, y) in a.relations.iter().zip(&b.relations) {
+            assert_eq!(x.page_class, y.page_class);
+            assert_eq!(x.n_tuples, y.n_tuples);
+        }
+        let c = generate_disk_resident(&DiskResidentSpec::paper(32, 6, 78));
+        assert_ne!(a.relations[0].page_class, c.relations[0].page_class);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the paper's 4-16x range")]
+    fn disk_resident_rejects_cacheable_sizes() {
+        generate_disk_resident(&DiskResidentSpec::paper(64, 2, 1));
     }
 
     #[test]

@@ -23,5 +23,8 @@ pub mod gen;
 pub mod spec;
 
 pub use calibrate::{rate_for_tuple_size, tuple_size_for_rate, Calibration};
-pub use gen::{GeneratedTask, GeneratedWorkload, WorkloadGenerator};
+pub use gen::{
+    generate_disk_resident, DiskResidentRelation, DiskResidentSpec, DiskResidentWorkload,
+    GeneratedTask, GeneratedWorkload, WorkloadGenerator,
+};
 pub use spec::{LengthModel, WorkloadConfig, WorkloadKind};

@@ -33,6 +33,37 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> bench_executor (writes BENCH_executor.json)"
 ./target/release/bench_executor BENCH_executor.json
 
+# Scaling leg: the disk-resident section is the paper's central claim —
+# 8 workers must strictly beat 1 on a workload the buffer pool cannot
+# absorb, with the utilization audit confirming the disk band is
+# saturated rather than under-staffed. Malformed JSON fails the leg too.
+echo "==> scaling gate (disk_resident section of BENCH_executor.json)"
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("BENCH_executor.json") as f:
+        r = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"BENCH_executor.json unreadable or malformed: {e}")
+try:
+    dr = r["disk_resident"]
+    speedup = dr["speedup_8w_over_1w"]
+    configs = dr["configs"]
+except KeyError as e:
+    sys.exit(f"BENCH_executor.json missing disk_resident field: {e}")
+modes = {(c["mode"], c["workers"]) for c in configs}
+for want in [("stealing", 1), ("stealing", 8), ("static_shares", 8)]:
+    if want not in modes:
+        sys.exit(f"disk_resident sweep missing config {want}: {sorted(modes)}")
+if any(c["pages_per_sec"] <= 0 for c in configs):
+    sys.exit("disk_resident config with non-positive throughput")
+if speedup <= 1.0:
+    sys.exit(f"scaling regression: 8-worker/1-worker speedup {speedup} <= 1.0")
+if not dr["saturated_at_8_workers"]:
+    sys.exit("8-worker disk-resident run did not saturate the disk band")
+print(f"scaling OK: disk-resident 8w/1w = {speedup}x, disk band saturated")
+EOF
+
 echo "==> bench_join (writes BENCH_join.json)"
 ./target/release/bench_join BENCH_join.json
 # The JSON must parse, and the rebuilt materialization path (sorted worker
@@ -48,7 +79,10 @@ assert len(configs) == 8, f"expected 8 configs, got {len(configs)}"
 assert all(c["materialized_tuples_per_sec"] > 0 for c in configs)
 if speedup < 1.0:
     sys.exit(f"join data-path regression: speedup at 8 workers {speedup} < 1.0")
-print(f"bench_join OK: speedup at 8 workers = {speedup}x")
+dr = r["disk_resident"]["speedup_8w_over_1w"]
+if dr <= 1.0:
+    sys.exit(f"disk-resident join scaling regression: 8w/1w {dr} <= 1.0")
+print(f"bench_join OK: speedup at 8 workers = {speedup}x, disk-resident 8w/1w = {dr}x")
 EOF
 
 echo "==> bench_obs (writes BENCH_obs.json + metrics.json)"
