@@ -17,9 +17,16 @@
 //! strictly exceed 1-worker throughput — with the §2.3 utilization audit
 //! confirming the disk band is saturated rather than under-staffed.
 //!
+//! A third, **memory-admission** section runs concurrent hash joins whose
+//! aggregate build demand is 4× the buffer pool under memory grants
+//! (admission queue + spill) against an uncontended big-pool reference. Its
+//! gates: the result digests match (admission never changes an answer), the
+//! grant ledger balances, no page stays pinned, and the builds actually
+//! queued and spilled.
+//!
 //! Usage: `bench_executor [output.json]` (default `BENCH_executor.json`).
 
-use xprs_bench::{exec_disk, exec_scan, host_header_json};
+use xprs_bench::{exec_disk, exec_memory, exec_scan, host_header_json};
 use xprs_executor::{DataPath, ExecConfig, MorselMode};
 
 const RELATION_TUPLES: u64 = 8_192;
@@ -28,6 +35,9 @@ const TRIALS: usize = 9;
 const WORKERS: [u32; 4] = [1, 2, 4, 8];
 const DR_TRIALS: usize = 3;
 const DR_SEED: u64 = 0xD15C;
+const MEM_TRIALS: usize = 3;
+const MEM_SEED: u64 = 0x4EA7;
+const MEM_WORKERS: u32 = 4;
 
 struct Row {
     path: DataPath,
@@ -156,6 +166,45 @@ fn main() {
         "disk-resident speedup (8w / 1w, stealing): {dr_speedup:.2}x  saturated_at_8={saturated}"
     );
 
+    // ---- Memory admission: oversized builds must queue, spill, and agree ----
+    let (mem_cat, mem_wl) = exec_memory::catalog(MEM_SEED);
+    let mut mem_rows: Vec<(bool, f64, exec_memory::MemoryRun)> = Vec::new();
+    for grants in [false, true] {
+        let mut walls = Vec::with_capacity(MEM_TRIALS);
+        let mut last = None;
+        for _ in 0..MEM_TRIALS {
+            let r = exec_memory::run(&mem_cat, &mem_wl, MEM_WORKERS, grants);
+            assert!(r.emitted > 0, "vacuous memory-admission join");
+            walls.push(r.wall);
+            last = Some(r);
+        }
+        let last = last.unwrap();
+        assert_eq!(last.granted_pages, last.released_pages, "grant ledger out of balance");
+        assert_eq!(last.pinned_at_exit, 0, "pages pinned at exit");
+        eprintln!(
+            "memory {:<10} wall={:.4}s emitted={} granted={} waits={} spill_chunks={} spill_rows={}",
+            if grants { "grants" } else { "reference" },
+            median(&mut walls),
+            last.emitted,
+            last.granted_pages,
+            last.grant_waits,
+            last.spill_chunks,
+            last.spill_rows,
+        );
+        mem_rows.push((grants, median(&mut walls), last));
+    }
+    let mem_ref = mem_rows.iter().find(|r| !r.0).unwrap();
+    let mem_grant = mem_rows.iter().find(|r| r.0).unwrap();
+    let mem_parity = mem_ref.2.rows_digest == mem_grant.2.rows_digest;
+    let mem_overhead = mem_grant.1 / mem_ref.1;
+    assert!(mem_parity, "admission changed a join answer");
+    assert!(mem_grant.2.spill_chunks > 0, "4x-pool builds never spilled");
+    eprintln!(
+        "memory admission: parity={mem_parity} overhead={mem_overhead:.2}x \
+         waits={} spill_rows={}",
+        mem_grant.2.grant_waits, mem_grant.2.spill_rows
+    );
+
     // Hand-rolled JSON: the workspace builds offline with no serde.
     let dr_json = {
         let mut j = String::new();
@@ -200,6 +249,49 @@ fn main() {
         j
     };
 
+    let mem_json = {
+        let mut j = String::new();
+        j.push_str("  \"memory_admission\": {\n");
+        j.push_str(&format!("    \"bufpool_pages\": {},\n", exec_memory::BUFPOOL_PAGES));
+        j.push_str(&format!(
+            "    \"reference_pool_pages\": {},\n",
+            exec_memory::REFERENCE_POOL_PAGES
+        ));
+        j.push_str(&format!("    \"demand_factor\": {},\n", exec_memory::DEMAND_FACTOR));
+        j.push_str(&format!("    \"n_queries\": {},\n", exec_memory::N_QUERIES));
+        j.push_str(&format!("    \"total_build_pages\": {},\n", mem_wl.total_build_pages()));
+        j.push_str(&format!("    \"workers\": {MEM_WORKERS},\n"));
+        j.push_str(&format!("    \"trials_per_config\": {MEM_TRIALS},\n"));
+        j.push_str("    \"configs\": [\n");
+        for (i, (grants, wall, r)) in mem_rows.iter().enumerate() {
+            j.push_str(&format!(
+                "      {{\"mode\": \"{}\", \"wall_seconds\": {:.6}, \"emitted\": {}, \
+                 \"granted_pages\": {}, \"released_pages\": {}, \"grant_waits\": {}, \
+                 \"spill_chunks\": {}, \"spill_rows\": {}, \"pinned_at_exit\": {}, \
+                 \"rows_digest\": {}}}{}\n",
+                if *grants { "grants" } else { "reference" },
+                wall,
+                r.emitted,
+                r.granted_pages,
+                r.released_pages,
+                r.grant_waits,
+                r.spill_chunks,
+                r.spill_rows,
+                r.pinned_at_exit,
+                r.rows_digest,
+                if i + 1 == mem_rows.len() { "" } else { "," }
+            ));
+        }
+        j.push_str("    ],\n");
+        j.push_str(&format!("    \"parity\": {mem_parity},\n"));
+        j.push_str(&format!("    \"ledger_balanced\": {},\n", {
+            mem_grant.2.granted_pages == mem_grant.2.released_pages
+        }));
+        j.push_str(&format!("    \"overhead_vs_reference\": {mem_overhead:.3}\n"));
+        j.push_str("  },\n");
+        j
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"executor_scan\",\n");
@@ -232,6 +324,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&dr_json);
+    json.push_str(&mem_json);
     json.push_str(&format!(
         "  \"speedup_decontended_vs_global_lock_at_8_workers\": {speedup_at_8:.3}\n"
     ));

@@ -54,10 +54,10 @@ fn main() {
     println!();
 
     // Independent solo choices, then scheduled together.
-    let solo1 = sys.optimize(&q1, Costing::ParCost);
+    let solo1 = sys.optimize(&q1, Costing::ParCost).expect("plan");
     let solo2 = {
         // Re-decompose with non-colliding ids for joint scheduling.
-        let mut o = sys.optimize(&q2, Costing::ParCost);
+        let mut o = sys.optimize(&q2, Costing::ParCost).expect("plan");
         let rels = Vec::new();
         let _ = rels as Vec<u8>;
         o.fragments = {
@@ -88,7 +88,7 @@ fn main() {
         &[&solo1.fragments.dag, &solo2.fragments.dag],
     );
 
-    let (joint_plans, joint) = sys.optimize_joint(&[&q1, &q2]);
+    let (joint_plans, joint) = sys.optimize_joint(&[&q1, &q2]).expect("plans");
 
     header(&["strategy", "q1 plan", "q2 plan", "joint elapsed (s)"]);
     row(&[

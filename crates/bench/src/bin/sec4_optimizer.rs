@@ -65,7 +65,7 @@ fn main() {
         ("bushy + parcost (this paper)", PlanShape::Bushy, Costing::ParCost),
     ] {
         sys.optimizer_mut().shape = shape;
-        let o = sys.optimize(&query, costing);
+        let o = sys.optimize(&query, costing).expect("plan");
         row(&[
             label.to_string(),
             o.plan.display(),

@@ -156,7 +156,9 @@ pub mod exec_scan {
     ) -> ScanRun {
         let relation_tuples = cat.get("scan_src").expect("bench relation").stats().n_tuples;
         let q = Query::selection("scan_src", 1.0);
-        let optimized = TwoPhaseOptimizer::paper_default().optimize_catalog(cat, &q, Costing::SeqCost);
+        let optimized = TwoPhaseOptimizer::paper_default()
+            .optimize_catalog(cat, &q, Costing::SeqCost)
+            .expect("plan");
         let bindings = vec![RelBinding { name: "scan_src".into(), pred: (0, 49) }];
         let runs: Vec<QueryRun> = (0..n_queries)
             .map(|_| QueryRun { optimized: optimized.clone(), bindings: bindings.clone() })
@@ -283,7 +285,7 @@ pub mod exec_obs {
             .map(|name| {
                 let q = Query::selection(name, 1.0);
                 QueryRun {
-                    optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost),
+                    optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost).expect("plan"),
                     bindings: vec![RelBinding {
                         name: (*name).into(),
                         pred: (i32::MIN, i32::MAX),
@@ -551,7 +553,7 @@ pub mod exec_disk {
             .map(|rel| {
                 let q = Query::selection(&rel.name, 1.0);
                 QueryRun {
-                    optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost),
+                    optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost).expect("plan"),
                     bindings: vec![RelBinding {
                         name: rel.name.clone(),
                         pred: (i32::MIN, i32::MAX),
@@ -653,6 +655,141 @@ pub mod exec_disk {
         match mode {
             MorselMode::StaticShares => "static_shares",
             MorselMode::Stealing { .. } => "stealing",
+        }
+    }
+}
+
+/// Memory-grant admission scenario: concurrent hash joins whose aggregate
+/// build demand is [`exec_memory::DEMAND_FACTOR`]× the buffer pool, every
+/// query arriving at once ([`exec_obs::CoRun`]) so the builds race for
+/// admission. The A/B is grants-on (tiny pool, queue + spill) against the
+/// uncontended reference (grants off, pool big enough to hold any build);
+/// the parity digest must match between the two — admission may reorder and
+/// spill, never change an answer.
+pub mod exec_memory {
+    use std::hash::{Hash, Hasher};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use xprs_disk::StripedLayout;
+    use xprs_executor::{ExecConfig, ExecReport, Executor, QueryRun, RelBinding};
+    use xprs_optimizer::{Costing, Query, TwoPhaseOptimizer};
+    use xprs_scheduler::MachineConfig;
+    use xprs_storage::{Catalog, Datum};
+    use xprs_workload::{generate_oversized_build, OversizedBuildSpec, OversizedBuildWorkload};
+
+    use super::exec_obs::CoRun;
+
+    /// Pool frames the grants-on side runs with.
+    pub const BUFPOOL_PAGES: u64 = 64;
+    /// Aggregate build demand as a multiple of the pool (the acceptance
+    /// regime is ≥ 4×).
+    pub const DEMAND_FACTOR: u64 = 4;
+    /// Concurrent join queries.
+    pub const N_QUERIES: usize = 4;
+    /// Pool frames for the uncontended reference run: comfortably above the
+    /// whole aggregate demand, so no admission pressure exists.
+    pub const REFERENCE_POOL_PAGES: u64 = BUFPOOL_PAGES * (DEMAND_FACTOR + 1);
+
+    /// One timed memory-admission run.
+    #[derive(Debug, Clone, Copy)]
+    pub struct MemoryRun {
+        /// Wall seconds for the whole run.
+        pub wall: f64,
+        /// Join tuples emitted across all queries.
+        pub emitted: u64,
+        /// Pages granted / released by the admission ledger (must balance).
+        pub granted_pages: u64,
+        /// Pages released back (see `granted_pages`).
+        pub released_pages: u64,
+        /// Fragments that waited in the admission FIFO.
+        pub grant_waits: u64,
+        /// Spill runs cut past grants.
+        pub spill_chunks: u64,
+        /// Rows that travelled through spill files.
+        pub spill_rows: u64,
+        /// Pages still pinned when the run exited (must be 0).
+        pub pinned_at_exit: u64,
+        /// Order-sensitive FNV digest over every result row, for the
+        /// byte-parity check between the grants-on and reference runs.
+        pub rows_digest: u64,
+    }
+
+    /// The oversized-build catalog plus its workload description.
+    pub fn catalog(seed: u64) -> (Arc<Catalog>, OversizedBuildWorkload) {
+        let mut spec = OversizedBuildSpec::paper(BUFPOOL_PAGES, DEMAND_FACTOR, N_QUERIES, seed);
+        // Fatter rows keep the join outputs (quadratic in tuples-per-page)
+        // bench-sized while the page demand stays ≥ DEMAND_FACTOR× the pool.
+        spec.blen = 200;
+        let workload = generate_oversized_build(&spec);
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        workload.load_into(&mut cat);
+        (Arc::new(cat), workload)
+    }
+
+    fn digest(report: &ExecReport) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for res in &report.results {
+            res.rows.rows.len().hash(&mut h);
+            for (key, tuple) in &res.rows.rows {
+                key.hash(&mut h);
+                for d in tuple.values() {
+                    match d {
+                        Datum::Int(v) => v.hash(&mut h),
+                        Datum::Text(s) => s.hash(&mut h),
+                        Datum::Null => 0xFFu8.hash(&mut h),
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Run every generated join at once with `workers` workers per
+    /// fragment; `grants` picks the side of the A/B (tiny pool + admission
+    /// vs big uncontended pool).
+    pub fn run(
+        cat: &Arc<Catalog>,
+        workload: &OversizedBuildWorkload,
+        workers: u32,
+        grants: bool,
+    ) -> MemoryRun {
+        let optimizer = TwoPhaseOptimizer::paper_default();
+        let runs: Vec<QueryRun> = workload
+            .pairs
+            .iter()
+            .map(|pair| {
+                let q =
+                    Query::join().rel(&pair.build, 1.0).rel(&pair.probe, 1.0).on(0, 1).build();
+                QueryRun {
+                    optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost).expect("plan"),
+                    bindings: vec![
+                        RelBinding { name: pair.build.clone(), pred: (i32::MIN, i32::MAX) },
+                        RelBinding { name: pair.probe.clone(), pred: (i32::MIN, i32::MAX) },
+                    ],
+                }
+            })
+            .collect();
+        let mut cfg = ExecConfig::unthrottled();
+        cfg.bufpool_pages = if grants { BUFPOOL_PAGES } else { REFERENCE_POOL_PAGES } as usize;
+        if grants {
+            cfg = cfg.with_memory_grants();
+        }
+        let exec = Executor::new(cfg, cat.clone());
+        let mut policy = CoRun::new(MachineConfig::paper_default(), workers);
+        let t0 = Instant::now();
+        let report = exec.run(&runs, &mut policy).expect("memory-admission run failed");
+        let wall = t0.elapsed().as_secs_f64();
+        MemoryRun {
+            wall,
+            emitted: report.results.iter().map(|r| r.rows.rows.len() as u64).sum(),
+            granted_pages: report.mem_granted_pages,
+            released_pages: report.mem_released_pages,
+            grant_waits: report.mem_grant_waits,
+            spill_chunks: report.spill_chunks,
+            spill_rows: report.spill_rows,
+            pinned_at_exit: report.pool_pinned_at_exit,
+            rows_digest: digest(&report),
         }
     }
 }

@@ -35,5 +35,5 @@ pub use xprs_sim as sim;
 pub use xprs_storage as storage;
 pub use xprs_workload as workload;
 
-pub use xprs_optimizer::{Costing, OptimizedQuery, PlanShape, Query, TwoPhaseOptimizer};
+pub use xprs_optimizer::{Costing, OptError, OptimizedQuery, PlanShape, Query, TwoPhaseOptimizer};
 pub use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use xprs_executor::{ExecConfig, ExecError, ExecReport, Executor, QueryRun, RelBinding};
-use xprs_optimizer::{Costing, OptimizedQuery, Query, TwoPhaseOptimizer};
+use xprs_optimizer::{Costing, OptError, OptimizedQuery, Query, TwoPhaseOptimizer};
 use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
 use xprs_scheduler::fluid::{FluidResult, FluidSim};
 use xprs_scheduler::intra::IntraOnly;
@@ -123,7 +123,11 @@ impl XprsSystem {
     }
 
     /// Optimize a query against the catalog.
-    pub fn optimize(&self, q: &Query, costing: Costing) -> OptimizedQuery {
+    ///
+    /// # Errors
+    /// Propagates the typed [`OptError`] when no plan exists — previously
+    /// an optimizer-internal panic.
+    pub fn optimize(&self, q: &Query, costing: Costing) -> Result<OptimizedQuery, OptError> {
         self.optimizer.optimize_catalog(&self.catalog, q, costing)
     }
 
@@ -131,7 +135,11 @@ impl XprsSystem {
     /// Section 5 extension): each query's plan is chosen to minimize the
     /// elapsed time of *all* queries' fragments scheduled together. Returns
     /// the per-query plans and the joint estimate.
-    pub fn optimize_joint(&self, queries: &[&Query]) -> (Vec<OptimizedQuery>, f64) {
+    ///
+    /// # Errors
+    /// Propagates the typed [`OptError`] for an empty batch or a query
+    /// with no plan.
+    pub fn optimize_joint(&self, queries: &[&Query]) -> Result<(Vec<OptimizedQuery>, f64), OptError> {
         let with_rels: Vec<(&Query, Vec<xprs_optimizer::cost::RelInfo>)> = queries
             .iter()
             .map(|q| (*q, self.optimizer.rel_infos(&self.catalog, q)))
@@ -282,7 +290,7 @@ mod tests {
             .iter()
             .map(|t| {
                 let q = Query::selection(&t.relation, 1.0);
-                let o = sys.optimize(&q, Costing::SeqCost);
+                let o = sys.optimize(&q, Costing::SeqCost).expect("plan");
                 let b = sys.bindings(&q);
                 (o, b)
             })

@@ -363,11 +363,49 @@ impl Machine {
                 // Also on the fault path: the frame holds no data in this
                 // model, but the *pin* must always be returned — leaking one
                 // per failed read starves the shard into PoolExhausted
-                // livelock under a retry storm.
-                pool.finish_read(rel, global_block);
+                // livelock under a retry storm. An unpin anomaly (double
+                // release under a retry race) is a typed error now: count it
+                // and keep serving rather than killing the worker.
+                if pool.finish_read(rel, global_block).is_err() {
+                    if let Some(m) = &self.metrics {
+                        m.unpin_anomalies.inc();
+                    }
+                }
             }
         }
         outcome
+    }
+
+    /// The sharded buffer pool, when one is attached. The master's admission
+    /// layer reserves grant capacity through this handle.
+    pub fn pool(&self) -> Option<&ShardedBufferPool> {
+        self.pool.as_ref()
+    }
+
+    /// Charge `n_blocks` of spill traffic for `rel` starting at
+    /// `start_block` — a sorted-run write, or its read-back before the
+    /// merge. Spill files are striped like heap relations, so spill I/O
+    /// occupies the same disk heads and degrades concurrent scans exactly
+    /// as the Section 2.3 interference model demands. It deliberately
+    /// bypasses the buffer pool (the grant protocol spills *because* the
+    /// pool had no room) and is not counted in [`Machine::reads`],
+    /// which tracks heap reads only — the obs ledger invariant
+    /// `hits + misses + bypasses == reads` must keep holding.
+    pub fn spill_io(&self, rel: RelId, start_block: u64, n_blocks: u64, worker: WorkerId) {
+        for b in start_block..start_block + n_blocks {
+            let disk = self.layout.disk_of(b) as usize;
+            let req = IoRequest {
+                rel,
+                local_block: self.layout.local_block(b),
+                worker,
+                solo: false,
+            };
+            let mut d = lock(&self.disks[disk]);
+            let (_class, dur) = d.serve_degraded(&req, 1.0);
+            if self.scale > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(dur * self.scale));
+            }
+        }
     }
 
     /// Burn `seconds` of simulated CPU while holding a processor permit.

@@ -26,14 +26,14 @@ use xprs_scheduler::trace::{emit, RunningSnap, SharedSink, TraceRecord};
 use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
 use xprs_storage::partition::{PagePartition, RangePartition};
 use xprs_storage::runs::{merge_runs, split_runs};
-use xprs_storage::{Catalog, Tuple};
+use xprs_storage::{Catalog, Tuple, PAGE_SIZE};
 
 use crate::io::{lock, IoFault, Machine, MachineStats};
 use crate::obs::{ExecMetrics, FragmentProfile, MergeProfile, QueryProfile, RunningInfo, UtilSample};
 use crate::pool::WorkerPool;
 use crate::program::{compile, Driver, Materialized};
 use crate::steal::{StealPartition, MAX_STEAL_UNITS};
-use crate::worker::{run_worker, FragCtx, OutputSink, PartitionState, RelBinding};
+use crate::worker::{run_worker, FragCtx, OutputSink, PartitionState, RelBinding, SpillSpec};
 
 /// One pool-merge task: merges a disjoint key sub-range of the runs.
 type MergeTask = Box<dyn FnOnce() -> Vec<(i32, Tuple)> + Send>;
@@ -156,6 +156,18 @@ pub struct ExecConfig {
     /// Write [`ExecReport::metrics_json`] to this path after a successful
     /// run. Implies `obs`.
     pub metrics_out: Option<PathBuf>,
+    /// Treat buffer-pool capacity as a scheduled resource: before a
+    /// fragment is staffed the master reserves shard capacity for its
+    /// estimated footprint ([`TaskProfile::memory`]), queues the fragment
+    /// FIFO when the pool is over-committed, and releases the grant at
+    /// completion. Off by default — grants change admission order, so the
+    /// throughput benches opt in explicitly.
+    pub memory_grants: bool,
+    /// Under `memory_grants`, let a fragment whose footprint exceeds its
+    /// grant cut sorted spill runs to disk instead of failing admission.
+    /// With spill disabled, a fragment whose demand exceeds the whole pool
+    /// is refused with [`ExecError::MemoryGrantExceeded`].
+    pub spill: bool,
 }
 
 impl ExecConfig {
@@ -181,6 +193,8 @@ impl ExecConfig {
             parallel_merge_ways: 0,
             obs: false,
             metrics_out: None,
+            memory_grants: false,
+            spill: true,
         }
     }
 
@@ -224,6 +238,23 @@ impl ExecConfig {
     pub fn with_metrics_out(mut self, path: impl Into<PathBuf>) -> Self {
         self.metrics_out = Some(path.into());
         self.obs = true;
+        self
+    }
+
+    /// Enable memory-grant admission: fragments reserve buffer-pool shard
+    /// capacity for their estimated footprint before staffing, wait FIFO
+    /// when the pool is over-committed, and spill past their grant.
+    pub fn with_memory_grants(mut self) -> Self {
+        self.memory_grants = true;
+        self
+    }
+
+    /// Disable spill-to-disk under memory grants: an over-pool demand then
+    /// surfaces as [`ExecError::MemoryGrantExceeded`] instead of running
+    /// degraded. Exists for the spill-parity A/B and for callers that
+    /// prefer a typed refusal over extra I/O.
+    pub fn without_spill(mut self) -> Self {
+        self.spill = false;
         self
     }
 
@@ -351,6 +382,19 @@ pub enum ExecError {
         /// Sorted producer indices per optimizer DAG fragment.
         optimized: Vec<Vec<usize>>,
     },
+    /// Under [`ExecConfig::memory_grants`] with spill disabled, a fragment
+    /// demanded more buffer-pool capacity than the whole pool holds. The
+    /// demand can never be admitted, so the run refuses it up front — a
+    /// typed, recoverable signal where the seed died later with an
+    /// unrecoverable `PoolExhausted` deep in a worker's read path.
+    MemoryGrantExceeded {
+        /// Global fragment index whose demand cannot fit.
+        fragment: usize,
+        /// Pages the fragment's estimated footprint requires.
+        demand_pages: u64,
+        /// Total pool capacity in pages.
+        capacity_pages: u64,
+    },
     /// `ExecConfig::metrics_out` was set but `metrics.json` could not be
     /// written. The run itself completed.
     MetricsDump {
@@ -401,6 +445,13 @@ impl std::fmt::Display for ExecError {
                      the optimizer's decomposition {optimized:?}"
                 )
             }
+            ExecError::MemoryGrantExceeded { fragment, demand_pages, capacity_pages } => {
+                write!(
+                    f,
+                    "fragment {fragment} demands {demand_pages} pages but the pool holds \
+                     {capacity_pages} and spill is disabled"
+                )
+            }
             ExecError::MetricsDump { path, error } => {
                 write!(f, "could not write metrics to {path}: {error}")
             }
@@ -423,6 +474,7 @@ enum ControlFail {
     Sched(SchedError),
     Relation { fragment: usize, name: String },
     Producer { fragment: usize, producer: usize },
+    Memory { fragment: usize, demand_pages: u64, capacity_pages: u64 },
 }
 
 impl From<SchedError> for ControlFail {
@@ -440,6 +492,9 @@ impl ControlFail {
             }
             ControlFail::Producer { fragment, producer } => {
                 ExecError::ProducerNotMaterialized { fragment, producer }
+            }
+            ControlFail::Memory { fragment, demand_pages, capacity_pages } => {
+                ExecError::MemoryGrantExceeded { fragment, demand_pages, capacity_pages }
             }
         }
     }
@@ -539,6 +594,20 @@ pub struct ExecReport {
     pub heartbeats: u64,
     /// Quiet patrol ticks the master ran (dead-worker sweep + drift check).
     pub patrol_ticks: u64,
+    /// Buffer-pool pages granted to fragments at admission, summed over the
+    /// run. Zero unless [`ExecConfig::memory_grants`] is on.
+    pub mem_granted_pages: u64,
+    /// Pages released back as fragments completed. Equal to
+    /// `mem_granted_pages` on any successful run — a gap is a grant leak.
+    pub mem_released_pages: u64,
+    /// Fragments that had to wait in the admission queue because the pool
+    /// was over-committed when their start was decided.
+    pub mem_grant_waits: u64,
+    /// Sorted spill runs cut by workers whose buffered output crossed the
+    /// fragment's grant.
+    pub spill_chunks: u64,
+    /// Rows written to (and read back from) spill runs.
+    pub spill_rows: u64,
     /// The hot-path metric registry, when `ExecConfig::obs` was on.
     pub metrics: Option<Arc<ExecMetrics>>,
 }
@@ -570,6 +639,41 @@ struct FragSlot {
     heartbeats: u64,
     adjusts: u64,
     merge: MergeProfile,
+    /// The admission grant held while the fragment runs (memory-grant mode
+    /// only); released — returning exactly the pages it took — at
+    /// completion.
+    grant: Option<xprs_storage::ShardReservation>,
+    /// Running but parked in the admission FIFO: no slots are staffed yet,
+    /// so parallelism adjustments must not staff any either — the fragment
+    /// is staffed exactly once, by [`Executor::retry_admission`].
+    queued: bool,
+    /// Completion-time spill captures.
+    spill_chunks: u64,
+    spill_rows: u64,
+}
+
+/// The master's admission ledger: the FIFO of fragments decided-but-waiting
+/// for pool capacity, plus the cumulative grant counters the report and the
+/// CI memory gate audit (`granted == released` on every successful run).
+struct Admission {
+    /// `(gid, demand_pages)` of fragments whose reservation failed; retried
+    /// strictly FIFO as completions release capacity, so a large demand is
+    /// never starved by a stream of small ones.
+    queue: std::collections::VecDeque<(usize, u64)>,
+    granted_pages: u64,
+    released_pages: u64,
+    waits: u64,
+}
+
+impl Admission {
+    fn new() -> Self {
+        Admission {
+            queue: std::collections::VecDeque::new(),
+            granted_pages: 0,
+            released_pages: 0,
+            waits: 0,
+        }
+    }
 }
 
 /// The multi-threaded XPRS executor.
@@ -679,6 +783,10 @@ impl Executor {
                     heartbeats: 0,
                     adjusts: 0,
                     merge: MergeProfile::default(),
+                    grant: None,
+                    queued: false,
+                    spill_chunks: 0,
+                    spill_rows: 0,
                 });
             }
         }
@@ -714,7 +822,9 @@ impl Executor {
         // running fragments — the pairing — was constant: one sample after
         // each applied decision, one at run end.
         let mut samples: Vec<UtilSample> = Vec::new();
-        if let Err(e) = self.decide(policy, &mut frags, &machine, &tx, &backends, t0) {
+        let mut admission = Admission::new();
+        if let Err(e) = self.decide(policy, &mut frags, &mut admission, &machine, &tx, &backends, t0)
+        {
             return Err(fail(e, done_count, now(t0), &frags, &backends));
         }
         if let Err(e) = wedge_check(policy, &frags, done_count) {
@@ -755,8 +865,8 @@ impl Executor {
                         // The corrected rates may change the balance point:
                         // re-enter the policy so running fragments can be
                         // adjusted and queued work re-planned.
-                        if let Err(e) =
-                            self.decide(policy, &mut frags, &machine, &tx, &backends, t0)
+                        if let Err(e) = self
+                            .decide(policy, &mut frags, &mut admission, &machine, &tx, &backends, t0)
                         {
                             return Err(fail(e, done_count, now(t0), &frags, &backends));
                         }
@@ -803,6 +913,20 @@ impl Executor {
             frags[gid].staffed = ctx.staffed.load(Ordering::Relaxed);
             frags[gid].heartbeats =
                 lock(&ctx.heartbeats).iter().map(|b| b.load(Ordering::Relaxed)).sum();
+            if let Some(spec) = &ctx.spill {
+                frags[gid].spill_chunks = spec.chunks.load(Ordering::Relaxed);
+                frags[gid].spill_rows = spec.rows.load(Ordering::Relaxed);
+            }
+            // Release the completed fragment's grant, then hand the freed
+            // capacity to the admission queue — the deferred fragments are
+            // already Running in the policy's eyes, they only lack workers.
+            if let Some(grant) = frags[gid].grant.take() {
+                admission.released_pages += grant.pages();
+                if let Some(pool) = machine.pool() {
+                    pool.release(grant);
+                }
+            }
+            self.retry_admission(&mut frags, &mut admission, &machine, &backends, t0);
             let (rows, merge) = self.materialize(&ctx, &backends, &machine);
             frags[gid].merge = merge;
             frags[gid].output = Some(Arc::new(rows));
@@ -825,7 +949,9 @@ impl Executor {
                     policy.on_arrival(t_done, frags[i].profile.clone());
                 }
             }
-            if let Err(e) = self.decide(policy, &mut frags, &machine, &tx, &backends, t0) {
+            if let Err(e) =
+                self.decide(policy, &mut frags, &mut admission, &machine, &tx, &backends, t0)
+            {
                 return Err(fail(e, done_count, now(t0), &frags, &backends));
             }
             if let Err(e) = wedge_check(policy, &frags, done_count) {
@@ -893,6 +1019,11 @@ impl Executor {
             adjusts: frags.iter().map(|f| f.adjusts).sum(),
             heartbeats: frags.iter().map(|f| f.heartbeats).sum(),
             patrol_ticks,
+            mem_granted_pages: admission.granted_pages,
+            mem_released_pages: admission.released_pages,
+            mem_grant_waits: admission.waits,
+            spill_chunks: frags.iter().map(|f| f.spill_chunks).sum(),
+            spill_rows: frags.iter().map(|f| f.spill_rows).sum(),
             profiles,
             samples,
             metrics,
@@ -984,10 +1115,12 @@ impl Executor {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn decide(
         &self,
         policy: &mut dyn SchedulePolicy,
         frags: &mut [FragSlot],
+        admission: &mut Admission,
         machine: &Arc<Machine>,
         tx: &Sender<MasterMsg>,
         backends: &Backends<'_>,
@@ -1029,9 +1162,16 @@ impl Executor {
                     .position(|f| f.profile.id == id)
                     .ok_or(SchedError::UnknownTask { task: id })?;
                 match a {
-                    Action::Start { .. } => {
-                        self.start_fragment(frags, gid, parallelism, machine, tx, backends, t0)?
-                    }
+                    Action::Start { .. } => self.start_fragment(
+                        frags,
+                        gid,
+                        parallelism,
+                        admission,
+                        machine,
+                        tx,
+                        backends,
+                        t0,
+                    )?,
                     Action::Adjust { .. } => {
                         self.adjust_fragment(frags, gid, parallelism, machine, backends)
                     }
@@ -1048,6 +1188,7 @@ impl Executor {
         frags: &mut [FragSlot],
         gid: usize,
         parallelism: f64,
+        admission: &mut Admission,
         machine: &Arc<Machine>,
         tx: &Sender<MasterMsg>,
         backends: &Backends<'_>,
@@ -1117,7 +1258,15 @@ impl Executor {
             // The packed claim word addresses 31 bits of units; a larger
             // fragment (never seen in practice) falls back to static shares.
             MorselMode::Stealing { morsel_units } if total > 0 && total < MAX_STEAL_UNITS => {
-                let part = Arc::new(StealPartition::new(total, morsel_units, x, gid as u64));
+                let mut part = StealPartition::new(total, morsel_units, x, gid as u64);
+                // Page-scan units are striped blocks (`unit % n_disks` =
+                // home disk): steal disk-affine so a rescue steal doesn't
+                // degrade two disks' service class. Key-space fragments
+                // have no unit→disk mapping, so they steal blind.
+                if matches!(frags[gid].program.driver, Driver::PageScan { .. }) {
+                    part = part.with_disks(self.cfg.machine.n_disks);
+                }
+                let part = Arc::new(part);
                 (PartitionState::Morsel { part, key_base: units.base() }, total)
             }
             _ => match units {
@@ -1125,6 +1274,41 @@ impl Executor {
                 UnitSpace::Keys { lo, hi } => range_partition(lo, hi, x),
             },
         };
+
+        // Memory admission: the fragment's estimated footprint, clamped to
+        // the whole pool, becomes its page demand; the clamp also fixes the
+        // spill bound, so the budget is decided before the context exists
+        // and the workers are born knowing it. A demand no clamp can fit
+        // (spill disabled) is refused up front with a typed error — the
+        // seed admitted it and died later on `PoolExhausted`.
+        let mut demand_pages = 0u64;
+        let mut spill = None;
+        if self.cfg.memory_grants && total > 0 {
+            if let Some(pool) = machine.pool() {
+                let capacity = pool.capacity() as u64;
+                let raw = (frags[gid].profile.memory / PAGE_SIZE as f64).ceil() as u64;
+                if raw > capacity && !self.cfg.spill {
+                    return Err(ControlFail::Memory {
+                        fragment: gid,
+                        demand_pages: raw,
+                        capacity_pages: capacity,
+                    });
+                }
+                demand_pages = raw.min(capacity);
+                if self.cfg.spill && demand_pages > 0 {
+                    let row_bytes = self.row_bytes_estimate(&frags[gid].bindings);
+                    let grant_bytes = demand_pages * PAGE_SIZE as u64;
+                    let threshold_rows =
+                        (grant_bytes / (u64::from(x) * row_bytes as u64)).max(1) as usize;
+                    spill = Some(SpillSpec {
+                        threshold_rows,
+                        row_bytes,
+                        chunks: AtomicU64::new(0),
+                        rows: AtomicU64::new(0),
+                    });
+                }
+            }
+        }
 
         let ctx = Arc::new(FragCtx {
             gid,
@@ -1146,6 +1330,7 @@ impl Executor {
             cpu_tuple: self.cfg.cpu_tuple,
             out_batch_tuples: self.cfg.effective_out_batch(),
             cpu_batch_seconds: self.cfg.effective_cpu_batch(),
+            spill,
         });
         frags[gid].started_at = t0.elapsed().as_secs_f64();
         frags[gid].status = FragStatus::Running(ctx.clone());
@@ -1158,10 +1343,88 @@ impl Executor {
             }
             return Ok(());
         }
+        if demand_pages > 0 {
+            let pool = machine.pool().expect("demand computed only with a pool");
+            match pool.try_reserve(demand_pages) {
+                Some(grant) => {
+                    admission.granted_pages += grant.pages();
+                    frags[gid].grant = Some(grant);
+                }
+                None => {
+                    // Over-committed: the fragment is admitted to the
+                    // schedule (Running, so the policy and the wedge
+                    // detector account for it) but staffing waits in the
+                    // FIFO until a completion releases capacity. A lone
+                    // fragment always fits (demand is clamped to the pool),
+                    // so the queue can never deadlock.
+                    admission.waits += 1;
+                    admission.queue.push_back((gid, demand_pages));
+                    frags[gid].queued = true;
+                    return Ok(());
+                }
+            }
+        }
         for slot in 0..x as usize {
             backends.staff(&ctx, slot, machine, &self.catalog);
         }
         Ok(())
+    }
+
+    /// Retry the admission FIFO after a grant release: staff every queued
+    /// fragment whose reservation now fits, stopping at the first that
+    /// still does not. Strict FIFO — later small demands never overtake an
+    /// earlier large one, so a big build cannot be starved.
+    fn retry_admission(
+        &self,
+        frags: &mut [FragSlot],
+        admission: &mut Admission,
+        machine: &Arc<Machine>,
+        backends: &Backends<'_>,
+        t0: Instant,
+    ) {
+        let Some(pool) = machine.pool() else { return };
+        while let Some(&(gid, demand)) = admission.queue.front() {
+            let ctx = match &frags[gid].status {
+                FragStatus::Running(ctx) => ctx.clone(),
+                // Finalized while waiting (abort paths only): nothing to
+                // staff, and no grant was ever held.
+                _ => {
+                    admission.queue.pop_front();
+                    continue;
+                }
+            };
+            let Some(grant) = pool.try_reserve(demand) else { return };
+            admission.queue.pop_front();
+            admission.granted_pages += grant.pages();
+            frags[gid].grant = Some(grant);
+            frags[gid].queued = false;
+            // The profile clock starts at staffing: the queue wait is
+            // admission latency (counted in `mem_grant_waits`), not run
+            // time.
+            frags[gid].started_at = t0.elapsed().as_secs_f64();
+            let x = ctx.target_parallelism.load(Ordering::Relaxed);
+            for slot in 0..x as usize {
+                backends.staff(&ctx, slot, machine, &self.catalog);
+            }
+        }
+    }
+
+    /// Estimated bytes per output row for a fragment's spill accounting:
+    /// the widest stored tuple among the query's relations (heap pages over
+    /// tuple count), defaulting to 64 when no relation has stats. An
+    /// estimate is enough — it sizes simulated spill blocks; it does not
+    /// place data.
+    fn row_bytes_estimate(&self, bindings: &[RelBinding]) -> usize {
+        bindings
+            .iter()
+            .filter_map(|b| {
+                let rel = self.catalog.get(&b.name)?;
+                let s = rel.stats();
+                (s.n_tuples > 0)
+                    .then(|| ((s.n_blocks * PAGE_SIZE as u64) / s.n_tuples).max(1) as usize)
+            })
+            .max()
+            .unwrap_or(64)
     }
 
     fn adjust_fragment(
@@ -1178,6 +1441,13 @@ impl Executor {
             // this action; the adjustment is moot.
             _ => return,
         };
+        // Parked in the admission FIFO: nothing is staffed, and staffing
+        // `new_slots` here would run the fragment without a grant (and then
+        // a second time when its reservation lands). Drop the adjustment;
+        // the policy re-decides once the fragment actually runs.
+        if frags[gid].queued {
+            return;
+        }
         let ctx = &ctx;
         frags[gid].adjusts += 1;
         let x = to_workers(parallelism, self.cfg.machine.n_procs);

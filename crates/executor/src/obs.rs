@@ -74,6 +74,12 @@ pub struct ExecMetrics {
     /// sweeps. Sampled at the same 1-in-8 episode rate as
     /// [`Self::morsel_ns`]; owner-deque pops are never recorded.
     pub steal_idle_ns: Histogram,
+    /// Release-build unpin protocol violations the pool absorbed instead
+    /// of panicking ([`xprs_storage::UnpinError`]): a `finish_read` for a
+    /// page that was concurrently evicted-and-reloaded unpinned, or a
+    /// double release under a spill/retry race. Debug builds still assert;
+    /// in release this counter is the only trace the anomaly leaves.
+    pub unpin_anomalies: Counter,
 }
 
 /// How one fragment's output was materialized.
@@ -409,9 +415,10 @@ impl ExecReport {
             Some(m) => (
                 m.gate_wait_ns.snapshot().to_json(),
                 format!(
-                    "{{\"retries\":{},\"faults\":{}}}",
+                    "{{\"retries\":{},\"faults\":{},\"unpin_anomalies\":{}}}",
                     m.io_retries.get(),
-                    m.io_faults.get()
+                    m.io_faults.get(),
+                    m.unpin_anomalies.get()
                 ),
                 format!(
                     "{{\"fanout\":{},\"runs\":{},\"run_rows\":{}}}",
@@ -440,6 +447,8 @@ impl ExecReport {
              \"disks\":[{}],\
              \"events\":{{\"staffed\":{},\"adjusts\":{},\"heartbeats\":{},\"patrol_ticks\":{},\
              \"recoveries\":{},\"recalibrations\":{},\"pool_threads\":{}}},\
+             \"memory\":{{\"granted_pages\":{},\"released_pages\":{},\"grant_waits\":{},\
+             \"spill_chunks\":{},\"spill_rows\":{},\"pinned_at_exit\":{}}},\
              \"gate_wait_ns\":{},\"io\":{},\"merge\":{},\"morsel\":{},\
              \"queries\":[{}],\"utilization_audit\":{}}}",
             jstr("xprs-metrics/1"),
@@ -463,6 +472,12 @@ impl ExecReport {
             self.worker_recoveries,
             self.recalibrations,
             self.pool_threads,
+            self.mem_granted_pages,
+            self.mem_released_pages,
+            self.mem_grant_waits,
+            self.spill_chunks,
+            self.spill_rows,
+            self.pool_pinned_at_exit,
             gate,
             io,
             merge_hist,

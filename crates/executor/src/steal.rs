@@ -78,11 +78,21 @@ struct SlotState {
     /// Set once the slot's owner takes its first morsel. Until then thieves
     /// leave the slot its last pending morsel (the first-morsel guarantee).
     started: bool,
+    /// Start unit of the last morsel this slot armed; the disk-affinity
+    /// steal pass prefers victims whose stealable work begins on the same
+    /// disk residue (`unit % n_disks`).
+    last_unit: Option<u64>,
 }
 
 impl SlotState {
     fn fresh(pending: VecDeque<Morsel>) -> Self {
-        SlotState { pending, claim: Arc::new(AtomicU64::new(0)), revoked: false, started: false }
+        SlotState {
+            pending,
+            claim: Arc::new(AtomicU64::new(0)),
+            revoked: false,
+            started: false,
+            last_unit: None,
+        }
     }
 }
 
@@ -100,6 +110,10 @@ pub struct StealPartition {
     inner: Mutex<Vec<SlotState>>,
     seed: u64,
     total_units: u64,
+    /// Disks under the unit space (`unit % n_disks` = home disk, matching
+    /// [`xprs_disk::StripedLayout::disk_of`]). `0` or `1` disables the
+    /// affinity steal pass.
+    n_disks: u32,
 }
 
 impl StealPartition {
@@ -124,7 +138,26 @@ impl StealPartition {
         for (i, m) in morselize(total_units, grain).into_iter().enumerate() {
             slots[i % n].pending.push_back(m);
         }
-        StealPartition { inner: Mutex::new(slots), seed, total_units }
+        StealPartition { inner: Mutex::new(slots), seed, total_units, n_disks: 0 }
+    }
+
+    /// Enable disk-affine victim selection for a page-scan fragment over a
+    /// striped array of `n_disks` disks: instead of taking the first
+    /// victim in the seeded rotation, an idle worker scores every victim's
+    /// would-be morsel by *(lands off the thief's current disk?, block
+    /// distance from the thief's last unit)* and steals the minimum — a
+    /// same-disk continuation when one exists, the shortest seek jump
+    /// otherwise.
+    ///
+    /// A blind steal teleports the thief to an arbitrary victim's tail:
+    /// the jump degrades the stripe's sequential service class on both the
+    /// abandoned and the invaded disk — the measured ~13% uniform-scan
+    /// regression vs the static shares. Affine selection keeps the steal's
+    /// rescue property (work still moves to idle workers) while paying the
+    /// smallest available seek penalty for it.
+    pub fn with_disks(mut self, n_disks: u32) -> Self {
+        self.n_disks = n_disks;
+        self
     }
 
     /// Total units in the fragment.
@@ -149,24 +182,43 @@ impl StealPartition {
         }
         if let Some(m) = slots[slot].pending.pop_front() {
             slots[slot].started = true;
+            slots[slot].last_unit = Some(m.start);
             arm(&slots[slot], m);
             return Some(NextMorsel { morsel: m, stolen_from: None });
         }
         let n = slots.len();
-        for victim in victim_order(self.seed, slot, n) {
-            let len = slots[victim].pending.len();
-            // A victim that hasn't begun keeps its last pending morsel
-            // (the first-morsel guarantee); otherwise everything pending
-            // is fair game.
-            let stealable = if slots[victim].started { len } else { len.saturating_sub(1) };
-            if stealable == 0 {
-                continue;
+        // Disk-affine selection: score every victim's would-be morsel by
+        // (off-thief's-disk?, block distance from the thief's last unit)
+        // and take the minimum — stay on the disk the thief was streaming
+        // when possible, and jump as short a seek as possible otherwise.
+        // Ties resolve to the seeded rotation's first, keeping replay
+        // determinism.
+        if self.n_disks > 1 {
+            if let Some(last) = slots[slot].last_unit {
+                let want = last % u64::from(self.n_disks);
+                let mut best: Option<((u64, u64), usize)> = None;
+                for victim in victim_order(self.seed, slot, n) {
+                    let Some(c) = steal_candidate(&slots, victim) else { continue };
+                    let off_disk = u64::from(c.start % u64::from(self.n_disks) != want);
+                    let key = (off_disk, c.start.abs_diff(last));
+                    if best.is_none_or(|(k, _)| key < k) {
+                        best = Some((key, victim));
+                    }
+                }
+                if let Some((_, victim)) = best {
+                    let m = steal_from(&mut slots, slot, victim).expect("candidate verified");
+                    slots[slot].last_unit = Some(m.start);
+                    arm(&slots[slot], m);
+                    return Some(NextMorsel { morsel: m, stolen_from: Some(victim) });
+                }
+                return None;
             }
-            // Steal the back half (round up, so a lone stealable morsel moves).
-            let tail = slots[victim].pending.split_off(len - stealable.div_ceil(2));
-            slots[slot].pending = tail;
-            let m = slots[slot].pending.pop_front().expect("stole at least one");
-            slots[slot].started = true;
+        }
+        // Blind fallback — no disk mapping, or the thief never armed a
+        // morsel: first victim in the seeded rotation with stealable work.
+        for victim in victim_order(self.seed, slot, n) {
+            let Some(m) = steal_from(&mut slots, slot, victim) else { continue };
+            slots[slot].last_unit = Some(m.start);
             arm(&slots[slot], m);
             return Some(NextMorsel { morsel: m, stolen_from: Some(victim) });
         }
@@ -291,6 +343,35 @@ impl StealPartition {
 /// under the same latch, so a plain store cannot clobber a REVOKED bit.
 fn arm(slot: &SlotState, m: Morsel) {
     slot.claim.store(pack(m.start, m.end), Ordering::SeqCst);
+}
+
+/// The morsel a thief *would* receive from `victim` — the front of the
+/// stolen back half — without committing the steal. `None` when nothing is
+/// stealable (empty, or an unstarted owner's guaranteed first morsel).
+fn steal_candidate(slots: &[SlotState], victim: usize) -> Option<Morsel> {
+    let len = slots[victim].pending.len();
+    let stealable = if slots[victim].started { len } else { len.saturating_sub(1) };
+    if stealable == 0 {
+        return None;
+    }
+    Some(slots[victim].pending[len - stealable.div_ceil(2)])
+}
+
+/// Steal the back half of `victim`'s pending morsels (round up, so a lone
+/// stealable morsel moves) into `thief`'s deque and hand back the first of
+/// them. A victim that hasn't begun keeps its last pending morsel (the
+/// first-morsel guarantee); otherwise everything pending is fair game.
+fn steal_from(slots: &mut [SlotState], thief: usize, victim: usize) -> Option<Morsel> {
+    let len = slots[victim].pending.len();
+    let stealable = if slots[victim].started { len } else { len.saturating_sub(1) };
+    if stealable == 0 {
+        return None;
+    }
+    let tail = slots[victim].pending.split_off(len - stealable.div_ceil(2));
+    slots[thief].pending = tail;
+    let m = slots[thief].pending.pop_front().expect("stole at least one");
+    slots[thief].started = true;
+    Some(m)
 }
 
 /// The victim visit order for `slot` among `n` slots: every other slot
@@ -439,6 +520,55 @@ mod tests {
         let mut seen = drain(&p);
         seen.sort_unstable();
         assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn affine_steal_prefers_the_thiefs_disk() {
+        // 4 slots, grain 1, 2 disks: the round-robin deal gives slot s the
+        // units ≡ s (mod 4), so slots 0 and 2 hold even (disk-0) units and
+        // slots 1 and 3 odd ones. Slot 0 drains its own deque (last unit
+        // 28, disk 0), then steals. Every victim has stealable work, but
+        // only slot 2 can offer a disk-0 unit — the affine score must pick
+        // it over nearer off-disk candidates.
+        let p = StealPartition::new(32, 1, 4, 123).with_disks(2);
+        let claim = p.claim_of(0);
+        for _ in 0..8 {
+            let nm = p.next_morsel(0).expect("own deque first");
+            assert_eq!(nm.stolen_from, None);
+            while StealPartition::claim_unit(&claim).is_some() {}
+        }
+        let stolen = p.next_morsel(0).expect("plenty pending elsewhere");
+        assert_eq!(stolen.stolen_from, Some(2), "only slot 2 holds disk-0 units");
+        assert_eq!(
+            stolen.morsel.start % 2,
+            0,
+            "thief last read disk 0; affine steal must stay there, got unit {}",
+            stolen.morsel.start
+        );
+    }
+
+    #[test]
+    fn affine_steal_takes_the_shortest_seek_when_no_disk_matches() {
+        // Same deal, but with 4 disks every victim's units live on its own
+        // disk — no candidate can match the thief's disk 0, so the score
+        // falls to block distance. Thief's last unit is 28; candidates are
+        // slot 1 → 17, slot 2 → 18, slot 3 → 19 (each victim's 5th of 8
+        // pending morsels after the back-half split). 19 is nearest.
+        let p = StealPartition::new(32, 1, 4, 123).with_disks(4);
+        let claim = p.claim_of(0);
+        for _ in 0..8 {
+            p.next_morsel(0).expect("own deque first");
+            while StealPartition::claim_unit(&claim).is_some() {}
+        }
+        let stolen = p.next_morsel(0).expect("steal must still rescue work");
+        assert_eq!(stolen.stolen_from, Some(3));
+        assert_eq!(stolen.morsel.start, 19, "nearest stealable unit to 28");
+        // And exactly-once still holds: drain claims the armed steal and
+        // everything pending; slot 0's own residue class was claimed above.
+        let mut seen = drain(&p);
+        seen.extend((0..32).step_by(4));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>(), "no unit lost under affine stealing");
     }
 
     #[test]

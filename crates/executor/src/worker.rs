@@ -33,7 +33,7 @@ use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use xprs_disk::{RelId, WorkerFaultKind};
+use xprs_disk::{RelId, SpillFile, WorkerFaultKind};
 use xprs_storage::partition::{PagePartition, RangePartition};
 use xprs_storage::runs::is_sorted_run;
 use xprs_storage::{Catalog, Relation, Tuple};
@@ -101,23 +101,18 @@ impl OutputSink {
         if local.is_empty() {
             return;
         }
-        let run = if is_sorted_run(local) {
-            mem::take(local)
-        } else {
-            let mut order: Vec<u64> = local
-                .iter()
-                .enumerate()
-                .map(|(i, &(k, _))| ((((k as u32) ^ 0x8000_0000) as u64) << 32) | i as u64)
-                .collect();
-            order.sort_unstable();
-            let mut slots: Vec<Option<(i32, Tuple)>> =
-                mem::take(local).into_iter().map(Some).collect();
-            order
-                .into_iter()
-                .map(|p| slots[(p & 0xFFFF_FFFF) as usize].take().expect("unique position"))
-                .collect()
-        };
+        let run = sort_run(local);
         lock(&self.batches).push(run);
+    }
+
+    /// Append several already-sorted runs in one lock round, preserving
+    /// their order. The spill path uses this so a worker's spilled chunks
+    /// and its final in-memory chunk land **contiguously** — together with
+    /// the merge's stable run-index tie-break, this keeps the merged
+    /// stream byte-identical to the unspilled run's.
+    pub(crate) fn push_runs(&self, runs: Vec<Vec<(i32, Tuple)>>) {
+        let mut b = lock(&self.batches);
+        b.extend(runs.into_iter().filter(|r| !r.is_empty()));
     }
 
     /// Seed-path emulation: one lock round per tuple into a single vector.
@@ -146,6 +141,47 @@ impl OutputSink {
     pub(crate) fn harvest_runs(&self) -> Vec<Vec<(i32, Tuple)>> {
         mem::take(&mut *lock(&self.batches))
     }
+}
+
+/// Stably sort a worker's accumulated output by key, emptying `local`.
+///
+/// The sort is indirect: keys and positions pack into `u64`s
+/// (sign-flipped key in the high half, position in the low half, so
+/// unstable integer sort is stable on keys by construction) and the
+/// 32-byte rows move exactly once, in the final gather.
+fn sort_run(local: &mut Vec<(i32, Tuple)>) -> Vec<(i32, Tuple)> {
+    if is_sorted_run(local) {
+        return mem::take(local);
+    }
+    let mut order: Vec<u64> = local
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, _))| ((((k as u32) ^ 0x8000_0000) as u64) << 32) | i as u64)
+        .collect();
+    order.sort_unstable();
+    let mut slots: Vec<Option<(i32, Tuple)>> = mem::take(local).into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .map(|p| slots[(p & 0xFFFF_FFFF) as usize].take().expect("unique position"))
+        .collect()
+}
+
+/// Spill protocol parameters for a fragment running under a memory grant
+/// smaller than its working set: when a worker's output buffer reaches
+/// `threshold_rows`, the buffer is sorted **now** and written out as one
+/// spill run (charged to the disk array at `row_bytes` per row), then read
+/// back at settle time for the k-way merge. The counters feed the
+/// [`ExecReport`](crate::master::ExecReport) spill ledger.
+pub(crate) struct SpillSpec {
+    /// Rows a worker may buffer before it must cut a spill run.
+    pub threshold_rows: usize,
+    /// Estimated bytes per output row (from the optimizer's cost model),
+    /// for translating rows into striped 8 KB spill blocks.
+    pub row_bytes: usize,
+    /// Spill runs cut, across all workers of the fragment.
+    pub chunks: AtomicU64,
+    /// Rows spilled, across all workers of the fragment.
+    pub rows: AtomicU64,
 }
 
 /// Shared state of one running fragment.
@@ -196,6 +232,10 @@ pub(crate) struct FragCtx {
     /// Simulated CPU seconds accumulated before one gate acquisition
     /// (0.0 ⇒ seed path: one acquisition per compute call).
     pub cpu_batch_seconds: f64,
+    /// When the fragment's memory grant is smaller than its estimated
+    /// output, the spill protocol bounds each worker's buffered rows
+    /// (batched path only; `None` ⇒ unbounded in-memory buffering).
+    pub spill: Option<SpillSpec>,
 }
 
 impl FragCtx {
@@ -270,6 +310,12 @@ struct WorkerState<'m> {
     /// over a CSR-indexed input advances its cursor monotonically with the
     /// worker's ascending key stream instead of re-probing from scratch.
     cursors: Vec<usize>,
+    /// Sorted chunks this worker has spilled (kept resident: the executor
+    /// models spill *timing*, not data placement — the write and read-back
+    /// are charged to the disk array, the bytes stay addressable).
+    spilled: Vec<Vec<(i32, Tuple)>>,
+    /// Spill-run accounting, created on first overflow.
+    spill_file: Option<SpillFile>,
 }
 
 impl<'m> WorkerState<'m> {
@@ -282,6 +328,8 @@ impl<'m> WorkerState<'m> {
             io_fault: None,
             index_fault: None,
             cursors: vec![0; ctx.program.ops.len()],
+            spilled: Vec::new(),
+            spill_file: None,
         }
     }
 
@@ -311,6 +359,31 @@ impl<'m> WorkerState<'m> {
             return;
         }
         self.buf.push((key, tuple));
+        if let Some(spec) = &ctx.spill {
+            if self.buf.len() >= spec.threshold_rows {
+                self.spill_chunk(ctx, spec);
+            }
+        }
+    }
+
+    /// The grant is exhausted: the buffered chunk becomes one sorted spill
+    /// run. Sorting happens now (run generation), the run's write is
+    /// charged to the striped disk array, and the rows move aside so the
+    /// buffer restarts empty under the same bound.
+    fn spill_chunk(&mut self, ctx: &FragCtx, spec: &SpillSpec) {
+        let chunk = sort_run(&mut self.buf);
+        if chunk.is_empty() {
+            return;
+        }
+        let file = self
+            .spill_file
+            .get_or_insert_with(|| SpillFile::new(ctx.gid as u64, self.wid.0));
+        let bytes = (chunk.len() * spec.row_bytes.max(1)) as u64;
+        let run = file.append(chunk.len() as u64, bytes);
+        self.machine.spill_io(file.rel(), run.start, run.blocks, self.wid);
+        spec.chunks.fetch_add(1, Ordering::Relaxed);
+        spec.rows.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        self.spilled.push(chunk);
     }
 
     /// Charge simulated CPU seconds; acquires the gate only when the local
@@ -330,10 +403,27 @@ impl<'m> WorkerState<'m> {
     }
 
     /// Flush everything outstanding (end of the worker's run): the local
-    /// output becomes one sorted run in the sink.
+    /// output becomes one sorted run in the sink — or, when the worker
+    /// spilled, its spill runs are read back (charged as sequential spill
+    /// I/O) and handed over together with the final in-memory chunk, in
+    /// cut order, as one contiguous block of runs.
     fn settle(&mut self, ctx: &FragCtx) {
         self.settle_cpu();
-        ctx.out.push_run(&mut self.buf);
+        if self.spilled.is_empty() {
+            ctx.out.push_run(&mut self.buf);
+            return;
+        }
+        // Read-back for the merge: the k-way merge consumes each run in
+        // key order — a sequential sweep over the run's striped blocks.
+        if let Some(file) = &self.spill_file {
+            for run in file.runs() {
+                self.machine.spill_io(file.rel(), run.start, run.blocks, self.wid);
+            }
+        }
+        let mut runs = mem::take(&mut self.spilled);
+        let last = sort_run(&mut self.buf);
+        runs.push(last);
+        ctx.out.push_runs(runs);
     }
 }
 

@@ -45,7 +45,9 @@ fn catalog() -> &'static Arc<Catalog> {
 
 fn join_run(cat: &Arc<Catalog>) -> QueryRun {
     let q = Query::join().rel("fat", 1.0).rel("thin", 1.0).on(0, 1).build();
-    let optimized = TwoPhaseOptimizer::paper_default().optimize_catalog(cat, &q, Costing::SeqCost);
+    let optimized = TwoPhaseOptimizer::paper_default()
+        .optimize_catalog(cat, &q, Costing::SeqCost)
+        .expect("plan");
     QueryRun {
         optimized,
         bindings: vec![

@@ -41,7 +41,7 @@ fn scan_runs(cat: &Arc<Catalog>, workload: &DiskResidentWorkload) -> Vec<QueryRu
         .map(|rel| {
             let q = Query::selection(&rel.name, 1.0);
             QueryRun {
-                optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost),
+                optimized: optimizer.optimize_catalog(cat, &q, Costing::SeqCost).expect("plan"),
                 bindings: vec![RelBinding {
                     name: rel.name.clone(),
                     pred: (i32::MIN, i32::MAX),

@@ -92,7 +92,7 @@ fn run_one(
     costing: Costing,
     policy: &mut dyn SchedulePolicy,
 ) -> xprs_executor::ExecReport {
-    let optimized = optimizer().optimize_catalog(cat, q, costing);
+    let optimized = optimizer().optimize_catalog(cat, q, costing).expect("plan");
     let exec = Executor::new(ExecConfig::unthrottled(), cat.clone());
     exec.run(&[QueryRun { optimized, bindings }], policy).expect("run failed")
 }
@@ -187,7 +187,7 @@ fn multi_query_run_returns_each_querys_rows() {
     let cat = catalog();
     let mk = |name: &str, pred: (i32, i32)| {
         let q = Query::selection(name, 1.0);
-        let optimized = optimizer().optimize_catalog(&cat, &q, Costing::SeqCost);
+        let optimized = optimizer().optimize_catalog(&cat, &q, Costing::SeqCost).expect("plan");
         QueryRun { optimized, bindings: vec![RelBinding { name: name.into(), pred }] }
     };
     let runs = vec![mk("fat", (0, 49)), mk("thin", (0, 9)), mk("mid", (100, 119))];
@@ -209,7 +209,7 @@ fn worker_panic_surfaces_as_exec_error() {
     let indexed = catalog();
     let q = Query::selection("thin", 0.05);
     let bindings = vec![RelBinding { name: "thin".into(), pred: (0, 7) }];
-    let mut optimized = optimizer().optimize_catalog(&indexed, &q, Costing::SeqCost);
+    let mut optimized = optimizer().optimize_catalog(&indexed, &q, Costing::SeqCost).expect("plan");
     // Force the index-access path; a selection decomposes into one fragment
     // either way, so only the worker's driver changes.
     optimized.plan = Plan::IndexScan { rel: 0 };
@@ -256,7 +256,7 @@ fn decontended_output_is_permutation_of_global_lock_output() {
         RelBinding { name: "mid".into(), pred: (0, 79) },
         RelBinding { name: "thin".into(), pred: (10, 99) },
     ];
-    let optimized = optimizer().optimize_catalog(&cat, &q, Costing::ParCost);
+    let optimized = optimizer().optimize_catalog(&cat, &q, Costing::ParCost).expect("plan");
     let run = |path: DataPath| {
         let exec = Executor::new(ExecConfig::unthrottled().with_data_path(path), cat.clone());
         let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
@@ -285,7 +285,7 @@ fn throttled_run_still_produces_correct_results() {
         RelBinding { name: "fat".into(), pred: (i32::MIN, i32::MAX) },
         RelBinding { name: "thin".into(), pred: (i32::MIN, i32::MAX) },
     ];
-    let optimized = optimizer().optimize_catalog(&cat, &q, Costing::ParCost);
+    let optimized = optimizer().optimize_catalog(&cat, &q, Costing::ParCost).expect("plan");
     let exec = Executor::new(ExecConfig::scaled(2000.0), cat.clone());
     let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(m()));
     let report = exec.run(&[QueryRun { optimized, bindings }], &mut policy).expect("run failed");

@@ -50,11 +50,11 @@ fn runs(cat: &Arc<Catalog>) -> Vec<QueryRun> {
     let join = Query::join().rel("big", 1.0).rel("small", 1.0).on(0, 1).build();
     vec![
         QueryRun {
-            optimized: optimizer.optimize_catalog(cat, &scan, Costing::SeqCost),
+            optimized: optimizer.optimize_catalog(cat, &scan, Costing::SeqCost).expect("plan"),
             bindings: vec![RelBinding { name: "big".into(), pred: (i32::MIN, i32::MAX) }],
         },
         QueryRun {
-            optimized: optimizer.optimize_catalog(cat, &join, Costing::SeqCost),
+            optimized: optimizer.optimize_catalog(cat, &join, Costing::SeqCost).expect("plan"),
             bindings: vec![
                 RelBinding { name: "big".into(), pred: (i32::MIN, i32::MAX) },
                 RelBinding { name: "small".into(), pred: (i32::MIN, i32::MAX) },

@@ -60,13 +60,13 @@ fn optimizer() -> TwoPhaseOptimizer {
 
 fn selection_run(cat: &Arc<Catalog>, name: &str, pred: (i32, i32)) -> QueryRun {
     let q = Query::selection(name, 1.0);
-    let optimized = optimizer().optimize_catalog(cat, &q, Costing::SeqCost);
+    let optimized = optimizer().optimize_catalog(cat, &q, Costing::SeqCost).expect("plan");
     QueryRun { optimized, bindings: vec![RelBinding { name: name.into(), pred }] }
 }
 
 fn join_run(cat: &Arc<Catalog>) -> QueryRun {
     let q = Query::join().rel("fat", 1.0).rel("thin", 1.0).on(0, 1).build();
-    let optimized = optimizer().optimize_catalog(cat, &q, Costing::SeqCost);
+    let optimized = optimizer().optimize_catalog(cat, &q, Costing::SeqCost).expect("plan");
     QueryRun {
         optimized,
         bindings: vec![

@@ -51,7 +51,9 @@ fn m() -> MachineConfig {
 
 fn full_scan_run(cat: &Arc<Catalog>, name: &str) -> QueryRun {
     let q = Query::selection(name, 1.0);
-    let optimized = TwoPhaseOptimizer::paper_default().optimize_catalog(cat, &q, Costing::SeqCost);
+    let optimized = TwoPhaseOptimizer::paper_default()
+        .optimize_catalog(cat, &q, Costing::SeqCost)
+        .expect("plan");
     QueryRun {
         optimized,
         bindings: vec![RelBinding { name: name.into(), pred: (i32::MIN, i32::MAX) }],

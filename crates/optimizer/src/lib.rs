@@ -34,4 +34,4 @@ pub use enumerate::{enumerate_best, PlanShape};
 pub use fragment::{decompose, Fragment, FragmentSet};
 pub use plan::Plan;
 pub use query::{JoinGraph, Query};
-pub use twophase::{Costing, OptimizedQuery, TwoPhaseOptimizer};
+pub use twophase::{Costing, OptError, OptimizedQuery, TwoPhaseOptimizer};

@@ -28,6 +28,36 @@ pub enum Costing {
     ParCost,
 }
 
+/// Why the optimizer could not produce a plan.
+///
+/// Until PR 7 these cases were `assert!`s inside [`TwoPhaseOptimizer`]: a
+/// query whose join graph admits no cross-product-free plan, or an empty
+/// joint-optimization batch, took the whole process down. They are now
+/// typed errors the scheduler and executor fold into their own error
+/// enums, so a bad query fails that query — not the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// The query failed structural validation (no relations, a
+    /// disconnected join graph, an out-of-range edge, a bad selectivity).
+    InvalidQuery(String),
+    /// Phase-one enumeration produced no complete plan.
+    NoPlan,
+    /// A joint-optimization batch contained no queries.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::InvalidQuery(why) => write!(f, "invalid query: {why}"),
+            OptError::NoPlan => write!(f, "enumeration produced no plan"),
+            OptError::EmptyBatch => write!(f, "nothing to optimize: empty query batch"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
 /// The optimization result.
 #[derive(Debug, Clone)]
 pub struct OptimizedQuery {
@@ -94,13 +124,21 @@ impl TwoPhaseOptimizer {
     /// Optimize `q` (statistics in `rels`) ranking complete plans by
     /// `costing`. Returns the chosen plan with both cost figures and its
     /// fragment decomposition.
-    pub fn optimize(&self, q: &Query, rels: &[RelInfo], costing: Costing) -> OptimizedQuery {
+    ///
+    /// # Errors
+    /// [`OptError::NoPlan`] when enumeration produces no complete plan.
+    pub fn optimize(
+        &self,
+        q: &Query,
+        rels: &[RelInfo],
+        costing: Costing,
+    ) -> Result<OptimizedQuery, OptError> {
+        q.validate().map_err(OptError::InvalidQuery)?;
         let beam = match costing {
             Costing::SeqCost => 1,
             Costing::ParCost => self.beam.max(1),
         };
         let candidates = enumerate(q, rels, &self.model, self.shape, beam);
-        assert!(!candidates.is_empty(), "enumeration produced no plan");
 
         let mut best: Option<OptimizedQuery> = None;
         for cand in candidates {
@@ -125,11 +163,19 @@ impl TwoPhaseOptimizer {
                 best = Some(OptimizedQuery { plan: cand.plan, seqcost, parcost, fragments });
             }
         }
-        best.expect("at least one candidate")
+        best.ok_or(OptError::NoPlan)
     }
 
     /// Convenience: optimize against the catalog directly.
-    pub fn optimize_catalog(&self, cat: &Catalog, q: &Query, costing: Costing) -> OptimizedQuery {
+    ///
+    /// # Errors
+    /// [`OptError::NoPlan`] when enumeration produces no complete plan.
+    pub fn optimize_catalog(
+        &self,
+        cat: &Catalog,
+        q: &Query,
+        costing: Costing,
+    ) -> Result<OptimizedQuery, OptError> {
         let rels = self.rel_infos(cat, q);
         self.optimize(q, &rels, costing)
     }
@@ -142,11 +188,20 @@ impl TwoPhaseOptimizer {
     /// Returns one [`OptimizedQuery`] per input, whose fragments carry
     /// globally-unique task ids (`query_index · 10_000 + fragment`), plus
     /// the joint elapsed-time estimate.
+    ///
+    /// # Errors
+    /// [`OptError::EmptyBatch`] for an empty batch, [`OptError::NoPlan`]
+    /// when any query in the batch admits no complete plan.
     pub fn optimize_joint(
         &self,
         queries: &[(&Query, Vec<RelInfo>)],
-    ) -> (Vec<OptimizedQuery>, f64) {
-        assert!(!queries.is_empty(), "nothing to optimize");
+    ) -> Result<(Vec<OptimizedQuery>, f64), OptError> {
+        if queries.is_empty() {
+            return Err(OptError::EmptyBatch);
+        }
+        for (q, _) in queries {
+            q.validate().map_err(OptError::InvalidQuery)?;
+        }
         // Candidate beams per query, each candidate pre-decomposed.
         let beams: Vec<Vec<OptimizedQuery>> = queries
             .iter()
@@ -169,16 +224,16 @@ impl TwoPhaseOptimizer {
             .collect();
 
         // Start from each query's solo parcost best.
-        let mut chosen: Vec<usize> = beams
-            .iter()
-            .map(|beam| {
-                beam.iter()
-                    .enumerate()
-                    .min_by(|(_, a), (_, b)| a.parcost.total_cmp(&b.parcost))
-                    .map(|(i, _)| i)
-                    .expect("non-empty beam")
-            })
-            .collect();
+        let mut chosen: Vec<usize> = Vec::with_capacity(beams.len());
+        for beam in &beams {
+            let best = beam
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.parcost.total_cmp(&b.parcost))
+                .map(|(i, _)| i)
+                .ok_or(OptError::NoPlan)?;
+            chosen.push(best);
+        }
 
         let joint = |chosen: &[usize]| -> f64 {
             let dags: Vec<&FragmentDag> = chosen
@@ -219,7 +274,7 @@ impl TwoPhaseOptimizer {
             .enumerate()
             .map(|(qi, ci)| beams[qi][ci].clone())
             .collect();
-        (picked, best_joint)
+        Ok((picked, best_joint))
     }
 }
 
@@ -263,7 +318,7 @@ mod tests {
         // Mix of fat (few tuples/page ⇒ IO-bound scans) and thin relations.
         let rs = rels(&[(2_000.0, 2_000.0), (50_000.0, 700.0), (3_000.0, 3_000.0), (40_000.0, 600.0)]);
         for costing in [Costing::SeqCost, Costing::ParCost] {
-            let o = opt().optimize(&q, &rs, costing);
+            let o = opt().optimize(&q, &rs, costing).expect("plan");
             assert!(o.plan.validate(&q).is_ok());
             assert!(o.seqcost > 0.0 && o.parcost > 0.0);
             assert!(!o.fragments.fragments.is_empty());
@@ -277,7 +332,7 @@ mod tests {
         // time at parallelism ≥ 1).
         let q = chain(3);
         let rs = rels(&[(10_000.0, 500.0), (20_000.0, 400.0), (5_000.0, 800.0)]);
-        let o = opt().optimize(&q, &rs, Costing::SeqCost);
+        let o = opt().optimize(&q, &rs, Costing::SeqCost).expect("plan");
         assert!(
             o.parcost <= o.seqcost * 1.01,
             "parcost {} vs seqcost {}",
@@ -290,8 +345,8 @@ mod tests {
     fn parcost_choice_is_at_least_as_fast_as_seqcost_choice() {
         let q = chain(4);
         let rs = rels(&[(2_000.0, 2_000.0), (60_000.0, 800.0), (2_500.0, 2_500.0), (50_000.0, 700.0)]);
-        let by_seq = opt().optimize(&q, &rs, Costing::SeqCost);
-        let by_par = opt().optimize(&q, &rs, Costing::ParCost);
+        let by_seq = opt().optimize(&q, &rs, Costing::SeqCost).expect("plan");
+        let by_par = opt().optimize(&q, &rs, Costing::ParCost).expect("plan");
         assert!(
             by_par.parcost <= by_seq.parcost + 1e-9,
             "parcost ranking regressed: {} vs {}",
@@ -306,7 +361,7 @@ mod tests {
         o.shape = PlanShape::LeftDeep;
         let q = chain(4);
         let rs = rels(&[(10_000.0, 500.0); 4]);
-        let r = o.optimize(&q, &rs, Costing::SeqCost);
+        let r = o.optimize(&q, &rs, Costing::SeqCost).expect("plan");
         assert!(r.plan.is_left_deep());
     }
 
@@ -318,13 +373,14 @@ mod tests {
         let q2 = chain(2);
         let r2 = rels(&[(60_000.0, 800.0), (50_000.0, 700.0)]); // thin tuples
         let o = opt();
-        let (plans, joint) = o.optimize_joint(&[(&q1, r1.clone()), (&q2, r2.clone())]);
+        let (plans, joint) =
+            o.optimize_joint(&[(&q1, r1.clone()), (&q2, r2.clone())]).expect("plans");
         assert_eq!(plans.len(), 2);
         // Independent parcost choices, merged.
         let solo1 = {
             let mut oo = o.clone();
             oo.machine = o.machine.clone();
-            let mut s = oo.optimize(&q1, &r1, Costing::ParCost);
+            let mut s = oo.optimize(&q1, &r1, Costing::ParCost).expect("plan");
             s.fragments = crate::fragment::decompose(
                 &s.plan,
                 &oo.model.cost_plan(&s.plan, &r1),
@@ -334,7 +390,7 @@ mod tests {
         };
         let solo2 = {
             let oo = o.clone();
-            let mut s = oo.optimize(&q2, &r2, Costing::ParCost);
+            let mut s = oo.optimize(&q2, &r2, Costing::ParCost).expect("plan");
             s.fragments = crate::fragment::decompose(
                 &s.plan,
                 &oo.model.cost_plan(&s.plan, &r2),
@@ -357,6 +413,31 @@ mod tests {
             .collect();
         let total: usize = plans.iter().map(|p| p.fragments.fragments.len()).sum();
         assert_eq!(ids.len(), total);
+    }
+
+    #[test]
+    fn disconnected_join_graph_is_a_typed_error_not_a_panic() {
+        // Two relations, no join edge: no cross-product-free plan can
+        // exist, and validation says so. This used to panic the process.
+        let q = Query {
+            rels: chain(2).rels,
+            graph: crate::query::JoinGraph::new(),
+        };
+        let rs = rels(&[(1_000.0, 100.0), (1_000.0, 100.0)]);
+        for costing in [Costing::SeqCost, Costing::ParCost] {
+            let err = opt().optimize(&q, &rs, costing).expect_err("must not plan");
+            assert!(matches!(err, OptError::InvalidQuery(_)), "got {err:?}");
+        }
+        // The same malformed query poisons a joint batch the same way.
+        let err = opt().optimize_joint(&[(&q, rs)]).expect_err("must not plan");
+        assert!(matches!(err, OptError::InvalidQuery(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn empty_joint_batch_is_a_typed_error() {
+        assert_eq!(opt().optimize_joint(&[]).err(), Some(OptError::EmptyBatch));
+        assert_eq!(OptError::EmptyBatch.to_string(), "nothing to optimize: empty query batch");
+        assert_eq!(OptError::NoPlan.to_string(), "enumeration produced no plan");
     }
 
     #[test]

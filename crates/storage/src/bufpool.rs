@@ -84,6 +84,30 @@ impl std::fmt::Display for PoolExhausted {
 
 impl std::error::Error for PoolExhausted {}
 
+/// A mismatched unpin: no fetch pinned the page this release claims to
+/// balance. Debug builds still assert loudly (an unmatched unpin is a caller
+/// bug worth catching in tests); release builds return this typed error so a
+/// double-unpin under a spill/retry race degrades to a counted anomaly
+/// instead of killing the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnpinError {
+    /// The page is not resident in this pool.
+    NotResident,
+    /// The page is resident but its pin count is already zero.
+    NotPinned,
+}
+
+impl std::fmt::Display for UnpinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnpinError::NotResident => write!(f, "unpin of non-resident page"),
+            UnpinError::NotPinned => write!(f, "unpin of unpinned page"),
+        }
+    }
+}
+
+impl std::error::Error for UnpinError {}
+
 impl BufferPool {
     /// A pool of `capacity` frames (pages).
     pub fn new(capacity: usize) -> Self {
@@ -138,15 +162,21 @@ impl BufferPool {
     /// Release one pin on `(rel, block)`.
     ///
     /// # Panics
-    /// Panics if the page is not resident or not pinned — an unpin without a
-    /// matching fetch is a caller bug worth failing loudly on.
-    pub fn unpin(&mut self, rel: RelId, block: u64) {
-        let &i = self
-            .map
-            .get(&(rel, block))
-            .unwrap_or_else(|| panic!("unpin of non-resident page ({rel:?}, {block})"));
-        assert!(self.frames[i].pins > 0, "unpin of unpinned page ({rel:?}, {block})");
+    /// Panics in debug builds if the page is not resident or not pinned — an
+    /// unpin without a matching fetch is a caller bug worth failing loudly on
+    /// in tests. Release builds return the typed [`UnpinError`] instead so a
+    /// double-unpin under spill/retry races cannot take the master down.
+    pub fn unpin(&mut self, rel: RelId, block: u64) -> Result<(), UnpinError> {
+        let Some(&i) = self.map.get(&(rel, block)) else {
+            debug_assert!(false, "unpin of non-resident page ({rel:?}, {block})");
+            return Err(UnpinError::NotResident);
+        };
+        if self.frames[i].pins == 0 {
+            debug_assert!(false, "unpin of unpinned page ({rel:?}, {block})");
+            return Err(UnpinError::NotPinned);
+        }
         self.frames[i].pins -= 1;
+        Ok(())
     }
 
     /// Is the page currently resident?
@@ -206,9 +236,9 @@ mod tests {
     fn first_fetch_misses_second_hits() {
         let mut p = BufferPool::new(4);
         assert_eq!(p.fetch(R, 0), Ok(FetchOutcome::Miss));
-        p.unpin(R, 0);
+        p.unpin(R, 0).unwrap();
         assert_eq!(p.fetch(R, 0), Ok(FetchOutcome::Hit));
-        p.unpin(R, 0);
+        p.unpin(R, 0).unwrap();
         assert_eq!(p.stats(), PoolStats { hits: 1, misses: 1, evictions: 0, bypasses: 0 });
         assert!((p.stats().hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(p.stats().fetches(), 2);
@@ -218,14 +248,14 @@ mod tests {
     fn lru_evicts_the_coldest_unpinned_page() {
         let mut p = BufferPool::new(2);
         p.fetch(R, 0).unwrap();
-        p.unpin(R, 0);
+        p.unpin(R, 0).unwrap();
         p.fetch(R, 1).unwrap();
-        p.unpin(R, 1);
+        p.unpin(R, 1).unwrap();
         // Touch page 0 so page 1 becomes LRU.
         p.fetch(R, 0).unwrap();
-        p.unpin(R, 0);
+        p.unpin(R, 0).unwrap();
         p.fetch(R, 2).unwrap();
-        p.unpin(R, 2);
+        p.unpin(R, 2).unwrap();
         assert!(p.contains(R, 0));
         assert!(!p.contains(R, 1));
         assert_eq!(p.stats().evictions, 1);
@@ -237,7 +267,7 @@ mod tests {
         p.fetch(R, 0).unwrap(); // pinned
         p.fetch(R, 1).unwrap(); // pinned
         assert_eq!(p.fetch(R, 2), Err(PoolExhausted));
-        p.unpin(R, 1);
+        p.unpin(R, 1).unwrap();
         assert_eq!(p.fetch(R, 2), Ok(FetchOutcome::Miss));
         assert!(p.contains(R, 0), "pinned page must survive");
         assert_eq!(p.stats().bypasses, 1, "the refused fetch must be counted");
@@ -248,7 +278,7 @@ mod tests {
     fn bypasses_drag_the_hit_rate_down() {
         let mut p = BufferPool::new(1);
         p.fetch(R, 0).unwrap();
-        p.unpin(R, 0);
+        p.unpin(R, 0).unwrap();
         p.fetch(R, 0).unwrap(); // hit, stays pinned
         // Frame pinned: every other page read bypasses the pool.
         for b in 1..=8u64 {
@@ -265,17 +295,31 @@ mod tests {
         let mut p = BufferPool::new(1);
         p.fetch(R, 0).unwrap();
         p.fetch(R, 0).unwrap(); // second pin
-        p.unpin(R, 0);
+        p.unpin(R, 0).unwrap();
         // Still pinned once: cannot evict.
         assert_eq!(p.fetch(R, 1), Err(PoolExhausted));
-        p.unpin(R, 0);
+        p.unpin(R, 0).unwrap();
         assert_eq!(p.fetch(R, 1), Ok(FetchOutcome::Miss));
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "unpin of non-resident page")]
-    fn unpin_of_absent_page_panics() {
-        BufferPool::new(1).unpin(R, 7);
+    fn unpin_of_absent_page_panics_in_debug() {
+        let _ = BufferPool::new(1).unpin(R, 7);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn unpin_of_absent_page_is_a_typed_error_in_release() {
+        let mut p = BufferPool::new(1);
+        assert_eq!(p.unpin(R, 7), Err(UnpinError::NotResident));
+        p.fetch(R, 0).unwrap();
+        p.unpin(R, 0).unwrap();
+        // Double-unpin: resident but pin count already zero.
+        assert_eq!(p.unpin(R, 0), Err(UnpinError::NotPinned));
+        // The pool stays usable afterwards.
+        assert_eq!(p.fetch(R, 0), Ok(FetchOutcome::Hit));
     }
 
     #[test]
@@ -286,7 +330,7 @@ mod tests {
         let mut p = BufferPool::new(8);
         for b in 0..100 {
             assert_eq!(p.fetch(R, b), Ok(FetchOutcome::Miss));
-            p.unpin(R, b);
+            p.unpin(R, b).unwrap();
         }
         assert_eq!(p.stats().misses, 100);
         assert_eq!(p.stats().hits, 0);
@@ -296,7 +340,7 @@ mod tests {
     fn reset_clears_state() {
         let mut p = BufferPool::new(2);
         p.fetch(R, 0).unwrap();
-        p.unpin(R, 0);
+        p.unpin(R, 0).unwrap();
         p.reset();
         assert_eq!(p.stats(), PoolStats::default());
         assert!(!p.contains(R, 0));

@@ -28,7 +28,7 @@ pub mod shardpool;
 pub mod tuple;
 
 pub use btree::BTreeIndex;
-pub use bufpool::{BufferPool, PoolStats};
+pub use bufpool::{BufferPool, PoolStats, UnpinError};
 pub use catalog::{Catalog, RelStats, Relation};
 pub use datum::Datum;
 pub use heap::HeapFile;
@@ -36,5 +36,5 @@ pub use page::{Page, PAGE_HEADER, PAGE_SIZE};
 pub use partition::{PagePartition, RangePartition};
 pub use runs::{merge_runs, split_runs, CsrIndex};
 pub use schema::{ColumnType, Schema};
-pub use shardpool::ShardedBufferPool;
+pub use shardpool::{ShardReservation, ShardedBufferPool};
 pub use tuple::{Tuple, TupleId};

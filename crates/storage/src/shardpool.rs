@@ -16,12 +16,40 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use xprs_disk::RelId;
 
-use crate::bufpool::{BufferPool, FetchOutcome, PoolExhausted, PoolStats};
+use crate::bufpool::{BufferPool, FetchOutcome, PoolExhausted, PoolStats, UnpinError};
 
 /// Fixed-capacity buffer pool split into independently latched shards.
 #[derive(Debug)]
 pub struct ShardedBufferPool {
     shards: Vec<Mutex<BufferPool>>,
+    /// Admission-grant reservation ledger (cold path — latched only by the
+    /// master's admission decisions, never by page reads).
+    reserve: Mutex<ReserveState>,
+}
+
+#[derive(Debug)]
+struct ReserveState {
+    /// Frames reserved per shard by outstanding grants.
+    per_shard: Vec<u64>,
+    /// Rotating start shard for remainder distribution, so a stream of
+    /// small grants doesn't pile its odd frames onto shard 0.
+    cursor: usize,
+}
+
+/// A committed shard-capacity reservation: the per-shard frame shares one
+/// admission grant holds. Returned by [`ShardedBufferPool::try_reserve`] and
+/// handed back verbatim to [`ShardedBufferPool::release`], so release always
+/// returns exactly the frames the grant took — the ledger cannot drift.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardReservation {
+    shares: Vec<u64>,
+}
+
+impl ShardReservation {
+    /// Total frames this reservation holds.
+    pub fn pages(&self) -> u64 {
+        self.shares.iter().sum()
+    }
 }
 
 /// Recover the guard even if a panicking thread poisoned a shard latch: the
@@ -47,7 +75,60 @@ impl ShardedBufferPool {
         let per_shard = total_pages.div_ceil(n_shards);
         ShardedBufferPool {
             shards: (0..n_shards).map(|_| Mutex::new(BufferPool::new(per_shard))).collect(),
+            reserve: Mutex::new(ReserveState { per_shard: vec![0; n_shards], cursor: 0 }),
         }
+    }
+
+    /// Try to reserve `pages` frames of shard capacity for an admission
+    /// grant, spread evenly across the shards (pages hash uniformly, so a
+    /// fragment's pin pressure lands on every shard). Fails — committing
+    /// nothing — if any shard's outstanding reservations would exceed its
+    /// frame count.
+    ///
+    /// Reservations are *admission accounting*: they bound the aggregate
+    /// demand the master admits concurrently, they do not pin frames. The
+    /// pin/unpin discipline still governs actual residency, and the bypass
+    /// path remains the last-resort safety valve within a grant.
+    pub fn try_reserve(&self, pages: u64) -> Option<ShardReservation> {
+        let n = self.shards.len();
+        let cap = self.shard_capacity() as u64;
+        let mut st = latch(&self.reserve);
+        let base = pages / n as u64;
+        let rem = (pages % n as u64) as usize;
+        let mut shares = vec![base; n];
+        for i in 0..rem {
+            shares[(st.cursor + i) % n] += 1;
+        }
+        if shares.iter().zip(&st.per_shard).any(|(&s, &r)| r + s > cap) {
+            return None;
+        }
+        for (r, &s) in st.per_shard.iter_mut().zip(&shares) {
+            *r += s;
+        }
+        st.cursor = (st.cursor + rem) % n;
+        Some(ShardReservation { shares })
+    }
+
+    /// Return a reservation's frames to the shards it took them from.
+    ///
+    /// # Panics
+    /// Panics if `r` did not come from this pool (shard count mismatch or
+    /// under-flowing a shard's reserved count) — releasing someone else's
+    /// grant is a ledger bug worth failing loudly on.
+    pub fn release(&self, r: ShardReservation) {
+        if r.shares.is_empty() {
+            return;
+        }
+        let mut st = latch(&self.reserve);
+        assert_eq!(r.shares.len(), st.per_shard.len(), "reservation from another pool");
+        for (held, &s) in st.per_shard.iter_mut().zip(&r.shares) {
+            *held = held.checked_sub(s).expect("reservation released twice");
+        }
+    }
+
+    /// Frames currently reserved by outstanding grants, summed over shards.
+    pub fn reserved(&self) -> u64 {
+        latch(&self.reserve).per_shard.iter().sum()
     }
 
     /// Which shard `(rel, block)` lives on. Deterministic, uniform mix of
@@ -70,17 +151,24 @@ impl ShardedBufferPool {
         let mut shard = latch(&self.shards[self.shard_of(rel, block)]);
         let outcome = shard.fetch(rel, block)?;
         if outcome == FetchOutcome::Hit {
-            shard.unpin(rel, block);
+            // Cannot fail: the fetch above pinned the page and the shard
+            // latch is still held, so no other thread touched the frame.
+            shard.unpin(rel, block).expect("hit page pinned in this critical section");
         }
         Ok(outcome)
     }
 
     /// Release the pin held since a `Miss` from [`ShardedBufferPool::access`].
-    /// A no-op if the page is gone (the miss bypassed an exhausted shard).
-    pub fn finish_read(&self, rel: RelId, block: u64) {
+    /// A no-op if the page is gone (the miss bypassed an exhausted shard);
+    /// an unpin that finds the page resident but unpinned — a double release
+    /// under a retry race — surfaces as a typed [`UnpinError`] instead of a
+    /// panic on release builds.
+    pub fn finish_read(&self, rel: RelId, block: u64) -> Result<(), UnpinError> {
         let mut shard = latch(&self.shards[self.shard_of(rel, block)]);
         if shard.contains(rel, block) {
-            shard.unpin(rel, block);
+            shard.unpin(rel, block)
+        } else {
+            Ok(())
         }
     }
 
@@ -150,7 +238,7 @@ mod tests {
     fn one_shard_behaves_like_the_global_pool() {
         let p = ShardedBufferPool::new(4, 1);
         assert_eq!(p.access(R, 0), Ok(FetchOutcome::Miss));
-        p.finish_read(R, 0);
+        p.finish_read(R, 0).unwrap();
         assert_eq!(p.access(R, 0), Ok(FetchOutcome::Hit));
         let s = p.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
@@ -161,7 +249,7 @@ mod tests {
         let p = ShardedBufferPool::new(64, 8);
         for b in 0..48u64 {
             p.access(R, b).unwrap();
-            p.finish_read(R, b);
+            p.finish_read(R, b).unwrap();
             let home = p.shard_of(R, b);
             assert!(home < 8);
             // Residency reported only via the home shard.
@@ -174,7 +262,7 @@ mod tests {
         let p = ShardedBufferPool::new(32, 4);
         for b in 0..16u64 {
             p.access(R, b).unwrap();
-            p.finish_read(R, b);
+            p.finish_read(R, b).unwrap();
         }
         for b in 0..16u64 {
             assert_eq!(p.access(R, b), Ok(FetchOutcome::Hit), "block {b} should be warm");
@@ -200,6 +288,46 @@ mod tests {
     }
 
     #[test]
+    fn reservations_fill_release_and_balance() {
+        let p = ShardedBufferPool::new(32, 4); // 8 frames per shard
+        let a = p.try_reserve(10).expect("fits");
+        assert_eq!(a.pages(), 10);
+        assert_eq!(p.reserved(), 10);
+        let b = p.try_reserve(22).expect("exactly fills the pool");
+        assert_eq!(p.reserved(), 32);
+        assert!(p.try_reserve(1).is_none(), "pool fully reserved");
+        p.release(a);
+        assert_eq!(p.reserved(), 22);
+        assert!(p.try_reserve(10).is_some());
+        p.release(b);
+    }
+
+    #[test]
+    fn small_reservations_rotate_across_shards() {
+        // 4 shards x 4 frames: sixteen 1-page grants must all fit — the
+        // rotating cursor spreads the odd frames instead of piling them on
+        // shard 0.
+        let p = ShardedBufferPool::new(16, 4);
+        let grants: Vec<_> =
+            (0..16).map(|i| p.try_reserve(1).unwrap_or_else(|| panic!("grant {i}"))).collect();
+        assert_eq!(p.reserved(), 16);
+        assert!(p.try_reserve(1).is_none());
+        for g in grants {
+            p.release(g);
+        }
+        assert_eq!(p.reserved(), 0);
+    }
+
+    #[test]
+    fn zero_page_reservation_is_free() {
+        let p = ShardedBufferPool::new(8, 2);
+        let g = p.try_reserve(0).expect("empty grant always fits");
+        assert_eq!(g.pages(), 0);
+        assert_eq!(p.reserved(), 0);
+        p.release(g);
+    }
+
+    #[test]
     fn exhausted_shard_counts_bypasses() {
         // One shard, one frame: hold the only frame pinned (a miss keeps its
         // pin until finish_read) and every other access is a bypass — and
@@ -211,7 +339,7 @@ mod tests {
             assert_eq!(p.access(R, b), Err(PoolExhausted));
             reads += 1;
         }
-        p.finish_read(R, 0);
+        p.finish_read(R, 0).unwrap();
         assert_eq!(p.access(R, 0), Ok(FetchOutcome::Hit));
         reads += 1;
         let s = p.stats();

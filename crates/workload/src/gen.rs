@@ -240,6 +240,120 @@ impl DiskResidentWorkload {
     }
 }
 
+/// Specification of a hash-join workload whose **build sides cannot fit the
+/// buffer pool**: the aggregate build-relation footprint is `demand_factor`
+/// times the pool, so under memory-grant admission the builds must either
+/// queue (serializing on grants) or run under a clamped grant and spill.
+/// The memory-admission acceptance workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OversizedBuildSpec {
+    /// RNG seed; relations are a pure function of the spec.
+    pub seed: u64,
+    /// Buffer-pool size the aggregate build demand must exceed.
+    pub bufpool_pages: u64,
+    /// Aggregate build demand as a multiple of the pool (≥ 4 for the
+    /// acceptance regime).
+    pub demand_factor: u64,
+    /// Join queries (one build/probe relation pair each).
+    pub n_queries: usize,
+    /// Join keys are uniform in `0..key_mod` on both sides, so every query
+    /// produces matches.
+    pub key_mod: u64,
+    /// `b`-attribute length (sets tuples per page).
+    pub blen: usize,
+}
+
+impl OversizedBuildSpec {
+    /// The acceptance-shaped spec: `n_queries` joins whose builds total
+    /// `demand_factor`× the pool, thin-ish tuples so the builds are row-rich.
+    pub fn paper(bufpool_pages: u64, demand_factor: u64, n_queries: usize, seed: u64) -> Self {
+        OversizedBuildSpec { seed, bufpool_pages, demand_factor, n_queries, key_mod: 500, blen: 50 }
+    }
+}
+
+/// One generated join pair of an oversized-build workload.
+#[derive(Debug, Clone)]
+pub struct OversizedBuildPair {
+    /// Build-side relation name (`ob_<seed>_<idx>_b`).
+    pub build: String,
+    /// Probe-side relation name (`ob_<seed>_<idx>_p`).
+    pub probe: String,
+    /// Heap pages of the build relation.
+    pub build_pages: u64,
+    /// Heap pages of the probe relation.
+    pub probe_pages: u64,
+    /// Tuples per page (both sides share `blen`).
+    pub tuples_per_page: u64,
+}
+
+/// A generated oversized-build workload.
+#[derive(Debug, Clone)]
+pub struct OversizedBuildWorkload {
+    /// The spec that produced it.
+    pub spec: OversizedBuildSpec,
+    /// Join pairs in index order.
+    pub pairs: Vec<OversizedBuildPair>,
+}
+
+impl OversizedBuildWorkload {
+    /// Heap pages across all build relations — by construction at least
+    /// `demand_factor × bufpool_pages`.
+    pub fn total_build_pages(&self) -> u64 {
+        self.pairs.iter().map(|p| p.build_pages).sum()
+    }
+
+    /// Create and bulk-load every relation into `catalog`. Rows are a pure
+    /// function of the spec (seeded LCG keys), so two loads — e.g. the
+    /// spill and no-spill sides of a parity check — see byte-identical
+    /// relations.
+    pub fn load_into(&self, catalog: &mut Catalog) {
+        for (idx, pair) in self.pairs.iter().enumerate() {
+            for (name, pages, salt) in [
+                (&pair.build, pair.build_pages, 0x0B00_u64),
+                (&pair.probe, pair.probe_pages, 0x0F00_u64),
+            ] {
+                catalog.create(name, xprs_storage::Schema::paper_rel());
+                let mut key_seed = self.spec.seed ^ salt ^ ((idx as u64) << 16);
+                let n = pages * pair.tuples_per_page;
+                let rows = (0..n).map(|_| {
+                    key_seed = key_seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let a = ((key_seed >> 33) % self.spec.key_mod) as i32;
+                    Tuple::from_values(vec![
+                        Datum::Int(a),
+                        Datum::Text("x".repeat(self.spec.blen)),
+                    ])
+                });
+                catalog.load(name, rows.collect::<Vec<_>>());
+            }
+        }
+    }
+}
+
+/// Generate the relation pairs of `spec`. Deterministic per spec; panics if
+/// the demand factor is below the 4× acceptance regime.
+pub fn generate_oversized_build(spec: &OversizedBuildSpec) -> OversizedBuildWorkload {
+    assert!(spec.demand_factor >= 4, "demand factor {} below the 4x regime", spec.demand_factor);
+    assert!(spec.bufpool_pages >= 1 && spec.n_queries >= 1 && spec.key_mod >= 1);
+    let tpp = dense_tuples_per_page(spec.blen);
+    // Split the aggregate demand over the queries, rounding up so the total
+    // never drops below the factor.
+    let build_pages =
+        (spec.bufpool_pages * spec.demand_factor).div_ceil(spec.n_queries as u64).max(1);
+    let probe_pages = build_pages.div_ceil(2).max(1);
+    let pairs = (0..spec.n_queries)
+        .map(|idx| OversizedBuildPair {
+            build: format!("ob_{}_{idx}_b", spec.seed),
+            probe: format!("ob_{}_{idx}_p", spec.seed),
+            build_pages,
+            probe_pages,
+            tuples_per_page: tpp,
+        })
+        .collect();
+    OversizedBuildWorkload { spec: spec.clone(), pairs }
+}
+
 /// `b`-length of a tuple that fills a heap page exactly (one per page).
 fn fat_page_blen() -> usize {
     use xprs_storage::{PAGE_HEADER, PAGE_SIZE};
@@ -422,6 +536,56 @@ mod tests {
     #[should_panic(expected = "outside the paper's 4-16x range")]
     fn disk_resident_rejects_cacheable_sizes() {
         generate_disk_resident(&DiskResidentSpec::paper(64, 2, 1));
+    }
+
+    #[test]
+    fn oversized_build_demand_covers_the_factor_and_loads_page_exactly() {
+        let spec = OversizedBuildSpec::paper(32, 4, 3, 0xB11D);
+        let w = generate_oversized_build(&spec);
+        assert_eq!(w.pairs.len(), 3);
+        assert!(
+            w.total_build_pages() >= spec.demand_factor * spec.bufpool_pages,
+            "aggregate build demand must cover the factor: {} pages",
+            w.total_build_pages()
+        );
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        w.load_into(&mut cat);
+        for p in &w.pairs {
+            let b = cat.get(&p.build).expect("build loaded").stats();
+            assert_eq!(b.n_blocks, p.build_pages, "page-exact build {}", p.build);
+            assert_eq!(b.n_tuples, p.build_pages * p.tuples_per_page);
+            let pr = cat.get(&p.probe).expect("probe loaded").stats();
+            assert_eq!(pr.n_blocks, p.probe_pages, "page-exact probe {}", p.probe);
+            // Both sides draw keys from the same 0..key_mod domain, so the
+            // join has matches.
+            assert!(b.min_a >= 0 && (b.max_a as u64) < spec.key_mod);
+            assert!(pr.min_a >= 0 && (pr.max_a as u64) < spec.key_mod);
+        }
+    }
+
+    #[test]
+    fn oversized_build_generation_is_deterministic() {
+        let spec = OversizedBuildSpec::paper(16, 6, 2, 9);
+        let a = generate_oversized_build(&spec);
+        let b = generate_oversized_build(&spec);
+        let mut cat_a = Catalog::new(StripedLayout::new(4));
+        let mut cat_b = Catalog::new(StripedLayout::new(4));
+        a.load_into(&mut cat_a);
+        b.load_into(&mut cat_b);
+        for p in &a.pairs {
+            let sa = cat_a.get(&p.build).expect("a").stats();
+            let sb = cat_b.get(&p.build).expect("b").stats();
+            assert_eq!(sa.n_tuples, sb.n_tuples);
+            assert_eq!(sa.min_a, sb.min_a);
+            assert_eq!(sa.max_a, sb.max_a);
+            assert_eq!(sa.n_distinct_a, sb.n_distinct_a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the 4x regime")]
+    fn oversized_build_rejects_fitting_demand() {
+        generate_oversized_build(&OversizedBuildSpec::paper(64, 2, 2, 1));
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod spec;
 
 pub use calibrate::{rate_for_tuple_size, tuple_size_for_rate, Calibration};
 pub use gen::{
-    generate_disk_resident, DiskResidentRelation, DiskResidentSpec, DiskResidentWorkload,
-    GeneratedTask, GeneratedWorkload, WorkloadGenerator,
+    generate_disk_resident, generate_oversized_build, DiskResidentRelation, DiskResidentSpec,
+    DiskResidentWorkload, GeneratedTask, GeneratedWorkload, OversizedBuildPair,
+    OversizedBuildSpec, OversizedBuildWorkload, WorkloadGenerator,
 };
 pub use spec::{LengthModel, WorkloadConfig, WorkloadKind};

@@ -29,7 +29,7 @@ fn main() {
         .iter()
         .map(|t| {
             let q = Query::selection(&t.relation, 1.0);
-            let o = sys.optimize(&q, Costing::SeqCost);
+            let o = sys.optimize(&q, Costing::SeqCost).expect("plan");
             let b = sys.bindings(&q);
             (o, b)
         })

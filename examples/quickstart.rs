@@ -31,7 +31,7 @@ fn main() {
     // A one-variable selection keeping ~30% of the key range — the shape of
     // every task in the paper's Section 3 workloads.
     let query = Query::selection("r1", 0.3);
-    let optimized = sys.optimize(&query, Costing::SeqCost);
+    let optimized = sys.optimize(&query, Costing::SeqCost).expect("plan");
     println!(
         "plan: {}   (seqcost {:.2} s, parcost {:.2} s, {} fragment)",
         optimized.plan.display(),

@@ -64,6 +64,46 @@ if not dr["saturated_at_8_workers"]:
 print(f"scaling OK: disk-resident 8w/1w = {speedup}x, disk band saturated")
 EOF
 
+# Memory leg: concurrent hash joins whose aggregate build demand is 4x the
+# pool must complete under memory-grant admission with (a) byte-identical
+# results to the uncontended reference run, (b) a balanced grant ledger,
+# (c) no page pinned at exit, and (d) the builds actually queueing and
+# spilling — i.e. the admission machinery engaged rather than the demand
+# quietly fitting.
+echo "==> memory gate (memory_admission section of BENCH_executor.json)"
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_executor.json") as f:
+    r = json.load(f)
+try:
+    m = r["memory_admission"]
+    configs = {c["mode"]: c for c in m["configs"]}
+    grants, ref = configs["grants"], configs["reference"]
+except KeyError as e:
+    sys.exit(f"BENCH_executor.json missing memory_admission field: {e}")
+if m["total_build_pages"] < m["demand_factor"] * m["bufpool_pages"]:
+    sys.exit(f"build demand {m['total_build_pages']} pages below the "
+             f"{m['demand_factor']}x regime")
+if not m["parity"] or grants["rows_digest"] != ref["rows_digest"]:
+    sys.exit("memory admission changed a join answer (digest mismatch)")
+for side in (grants, ref):
+    if side["granted_pages"] != side["released_pages"]:
+        sys.exit(f"grant ledger out of balance: {side}")
+    if side["pinned_at_exit"] != 0:
+        sys.exit(f"{side['pinned_at_exit']} pages pinned at exit: {side}")
+if grants["granted_pages"] == 0:
+    sys.exit("grants run never granted a page")
+if grants["grant_waits"] == 0:
+    sys.exit("oversized builds never waited for admission")
+if grants["spill_chunks"] == 0 or grants["spill_rows"] == 0:
+    sys.exit("oversized builds never spilled")
+if ref["granted_pages"] != 0 or ref["spill_chunks"] != 0:
+    sys.exit(f"reference run unexpectedly ran under grants: {ref}")
+print(f"memory OK: parity, ledger {grants['granted_pages']} granted=released, "
+      f"waits={grants['grant_waits']}, spill_rows={grants['spill_rows']}, "
+      f"overhead={m['overhead_vs_reference']}x")
+EOF
+
 echo "==> bench_join (writes BENCH_join.json)"
 ./target/release/bench_join BENCH_join.json
 # The JSON must parse, and the rebuilt materialization path (sorted worker

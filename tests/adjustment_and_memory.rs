@@ -135,7 +135,7 @@ fn fragment_memory_affects_parcost_under_a_tiny_budget() {
             );
         }
         let q = Query::join().rel("big_a", 1.0).rel("big_b", 1.0).on(0, 1).build();
-        sys.optimize(&q, Costing::ParCost)
+        sys.optimize(&q, Costing::ParCost).expect("plan")
     };
     let unconstrained = build(f64::INFINITY);
     // Budget below the combined fragment footprints: concurrent execution of

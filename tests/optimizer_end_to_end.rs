@@ -46,8 +46,8 @@ fn chain_query() -> Query {
 fn parcost_ranking_never_regresses_the_estimate() {
     let sys = build_system();
     let q = chain_query();
-    let by_seq = sys.optimize(&q, Costing::SeqCost);
-    let by_par = sys.optimize(&q, Costing::ParCost);
+    let by_seq = sys.optimize(&q, Costing::SeqCost).expect("plan");
+    let by_par = sys.optimize(&q, Costing::ParCost).expect("plan");
     assert!(
         by_par.parcost <= by_seq.parcost + 1e-9,
         "parcost ranking produced a slower plan: {} vs {}",
@@ -70,7 +70,7 @@ fn every_strategy_computes_the_same_answer() {
         (PlanShape::Bushy, Costing::ParCost),
     ] {
         sys.optimizer_mut().shape = shape;
-        let o = sys.optimize(&q, costing);
+        let o = sys.optimize(&q, costing).expect("plan");
         let report = sys.execute(&[(o, bindings.clone())], PolicyKind::InterWithAdj, None).expect("exec");
         let keys: Vec<i32> = report.results[0].rows.rows.iter().map(|(k, _)| *k).collect();
         match &reference {
@@ -89,7 +89,7 @@ fn fragment_estimates_classify_like_their_relations() {
     // probe side the CPU-heavy one; the decomposition should expose one
     // IO-bound and one CPU-bound fragment — the pairing opportunity.
     let q = Query::join().rel("io_a", 1.0).rel("cpu_b", 1.0).on(0, 1).build();
-    let o = sys.optimize(&q, Costing::ParCost);
+    let o = sys.optimize(&q, Costing::ParCost).expect("plan");
     let thr = sys.machine().io_threshold();
     let classes: Vec<bool> = o
         .fragments
@@ -117,7 +117,7 @@ fn multi_query_mixed_workload_executes_under_all_policies() {
     let q3 = Query::join().rel("io_c", 1.0).rel("cpu_d", 1.0).on(0, 1).build();
     let runs: Vec<_> = [&q1, &q2, &q3]
         .iter()
-        .map(|q| (sys.optimize(q, Costing::SeqCost), sys.bindings(q)))
+        .map(|q| (sys.optimize(q, Costing::SeqCost).expect("plan"), sys.bindings(q)))
         .collect();
     let mut counts: Option<Vec<usize>> = None;
     for policy in PolicyKind::all() {

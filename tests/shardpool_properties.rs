@@ -34,7 +34,7 @@ proptest! {
             // pool can never exhaust: every frame is evictable by the next
             // miss.
             match pool.access(RelId(rel), block).expect("no pins outstanding") {
-                FetchOutcome::Miss => pool.finish_read(RelId(rel), block),
+                FetchOutcome::Miss => pool.finish_read(RelId(rel), block).expect("page resident"),
                 FetchOutcome::Hit => {}
             }
             accessed.insert((rel, block));
@@ -101,7 +101,7 @@ proptest! {
         for _ in 0..passes {
             for &b in &blocks {
                 if pool.access(RelId(1), b).unwrap() == FetchOutcome::Miss {
-                    pool.finish_read(RelId(1), b);
+                    pool.finish_read(RelId(1), b).expect("page resident");
                 }
             }
         }
