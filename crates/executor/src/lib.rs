@@ -29,6 +29,12 @@
 //! * [`master`] — the driver: executes one or many optimized queries under
 //!   any [`xprs_scheduler::SchedulePolicy`], staffing and re-partitioning
 //!   worker slots on a persistent thread [`pool`] as the policy directs.
+//!   Long-running callers share one machine + pool via
+//!   [`master::ExecSession`] and `run_shared`.
+//! * [`cancel`] — per-query deadlines and cooperative cancellation:
+//!   a [`cancel::CancelToken`] fired manually or by deadline stops a
+//!   query's workers at unit/morsel boundaries and releases its grant,
+//!   pins and partition shares exactly once.
 //! * [`pool`] — the persistent slave-backend thread pool: parallelism
 //!   adjustments park and unpark long-lived threads instead of spawning and
 //!   joining OS threads per slot.
@@ -37,6 +43,7 @@
 //!   window audit that checks the measured disk bandwidth against §2.2–2.3's
 //!   predictions. Rendered as `metrics.json` by `ExecReport::metrics_json`.
 
+pub mod cancel;
 pub mod io;
 pub mod master;
 pub mod obs;
@@ -45,10 +52,11 @@ pub mod program;
 pub mod steal;
 pub mod worker;
 
-pub use io::{CpuGate, IoFault, Machine, MachineStats, READ_ATTEMPTS};
+pub use cancel::CancelToken;
+pub use io::{CpuGate, IoFault, Machine, MachineStats, READ_ATTEMPTS, RETRY_BACKOFF};
 pub use master::{
-    join_worker, DataPath, ExecConfig, ExecError, ExecReport, Executor, MorselMode, QueryResult,
-    QueryRun, DEFAULT_MORSEL_UNITS,
+    join_worker, DataPath, ExecConfig, ExecError, ExecReport, ExecSession, Executor, MorselMode,
+    QueryResult, QueryRun, DEFAULT_MORSEL_UNITS,
 };
 pub use obs::{
     ExecMetrics, FragmentProfile, MergeProfile, QueryProfile, UtilSample, UtilizationAudit,

@@ -28,6 +28,7 @@ use xprs_storage::partition::{PagePartition, RangePartition};
 use xprs_storage::runs::{merge_runs, split_runs};
 use xprs_storage::{Catalog, Tuple, PAGE_SIZE};
 
+use crate::cancel::CancelToken;
 use crate::io::{lock, IoFault, Machine, MachineStats};
 use crate::obs::{ExecMetrics, FragmentProfile, MergeProfile, QueryProfile, RunningInfo, UtilSample};
 use crate::pool::WorkerPool;
@@ -168,6 +169,14 @@ pub struct ExecConfig {
     /// With spill disabled, a fragment whose demand exceeds the whole pool
     /// is refused with [`ExecError::MemoryGrantExceeded`].
     pub spill: bool,
+    /// Attempts a page read is given (initial issue + retries) before it
+    /// escalates to [`ExecError::IoFault`]. The default
+    /// ([`crate::io::READ_ATTEMPTS`]) is tuned for batch runs; a
+    /// latency-bound service trades retries for faster typed failure.
+    pub read_attempts: u32,
+    /// Simulated seconds of backoff before the first read retry, doubling
+    /// per retry ([`crate::io::RETRY_BACKOFF`] default).
+    pub retry_backoff: f64,
 }
 
 impl ExecConfig {
@@ -195,6 +204,8 @@ impl ExecConfig {
             metrics_out: None,
             memory_grants: false,
             spill: true,
+            read_attempts: crate::io::READ_ATTEMPTS,
+            retry_backoff: crate::io::RETRY_BACKOFF,
         }
     }
 
@@ -255,6 +266,29 @@ impl ExecConfig {
     /// prefer a typed refusal over extra I/O.
     pub fn without_spill(mut self) -> Self {
         self.spill = false;
+        self
+    }
+
+    /// Override the bounded-I/O-retry envelope: `attempts` reads per page
+    /// (≥ 1, initial issue included) and `backoff` simulated seconds before
+    /// the first retry (doubling per retry). The defaults reproduce the
+    /// constants batch runs have always used.
+    pub fn with_retry(mut self, attempts: u32, backoff: f64) -> Self {
+        assert!(attempts >= 1, "a read needs at least one attempt");
+        assert!(backoff >= 0.0 && backoff.is_finite(), "invalid retry backoff {backoff}");
+        self.read_attempts = attempts;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Configure the heartbeat patrol explicitly: `ms` between patrol
+    /// sweeps (0 disables the patrol) and `grace` consecutive frozen ticks
+    /// before a worker slot is declared dead. A continuous service tightens
+    /// both so a dead worker inflates one tenant's latency for
+    /// milliseconds, not a whole batch run.
+    pub fn with_patrol(mut self, ms: u64, grace: u32) -> Self {
+        self.patrol_ms = ms;
+        self.patrol_grace = grace.max(1);
         self
     }
 
@@ -610,6 +644,19 @@ pub struct ExecReport {
     pub spill_rows: u64,
     /// The hot-path metric registry, when `ExecConfig::obs` was on.
     pub metrics: Option<Arc<ExecMetrics>>,
+    /// Per-query cancellation outcome, in submission order: `true` means
+    /// the query's token fired before its root completed, and its result
+    /// is an empty [`Materialized`]. A query whose token fired *after* the
+    /// root finished keeps its real rows and stays `true` here — the
+    /// caller learns the work was not wasted.
+    pub cancelled: Vec<bool>,
+    /// Fragments whose observed page footprint exceeded the pages their
+    /// [`TaskProfile::memory`] declared (detection only — the run is never
+    /// failed for it; disk-resident scans re-reading evicted pages land
+    /// here routinely).
+    pub footprint_overruns: u64,
+    /// One human-readable line per footprint overrun.
+    pub footprint_warnings: Vec<String>,
 }
 
 enum FragStatus {
@@ -650,6 +697,10 @@ struct FragSlot {
     /// Completion-time spill captures.
     spill_chunks: u64,
     spill_rows: u64,
+    /// Pages the fragment's workers actually read (buffer-pool hits
+    /// included, re-reads after eviction included) — the observed
+    /// footprint compared against the declared one at completion.
+    observed_pages: u64,
 }
 
 /// The master's admission ledger: the FIFO of fragments decided-but-waiting
@@ -711,12 +762,57 @@ impl Executor {
         queries: &[QueryRun],
         policy: &mut dyn SchedulePolicy,
     ) -> Result<ExecReport, ExecError> {
+        self.run_inner(queries, policy, &[], None)
+    }
+
+    /// [`Executor::run`] with per-query cancellation: `tokens[i]` governs
+    /// `queries[i]` (an empty slice means no query is cancellable). The
+    /// master polls the tokens between messages and folds pending
+    /// deadlines into its wakeup deadline; a fired token's fragments stop
+    /// at the next unit boundary, release their grant, pins and partition
+    /// shares exactly once through the ordinary completion protocol, and
+    /// the query reports an empty result with `report.cancelled[i]` set.
+    ///
+    /// # Errors
+    /// As [`Executor::run`] — cancellation itself is never an error.
+    pub fn run_with_cancel(
+        &self,
+        queries: &[QueryRun],
+        policy: &mut dyn SchedulePolicy,
+        tokens: &[CancelToken],
+    ) -> Result<ExecReport, ExecError> {
+        self.run_inner(queries, policy, tokens, None)
+    }
+
+    /// Run against a shared [`ExecSession`] instead of a private machine:
+    /// concurrent callers draw admission grants from one buffer pool and
+    /// staff worker slots onto one pool of threads — the substrate of a
+    /// continuous query service. The session's threads survive the run;
+    /// only this run's fragments are quiesced on exit.
+    ///
+    /// # Errors
+    /// As [`Executor::run_with_cancel`].
+    pub fn run_shared(
+        &self,
+        session: &ExecSession,
+        queries: &[QueryRun],
+        policy: &mut dyn SchedulePolicy,
+        tokens: &[CancelToken],
+    ) -> Result<ExecReport, ExecError> {
+        self.run_inner(queries, policy, tokens, Some(session))
+    }
+
+    /// Build the simulated machine this executor's config describes:
+    /// sharded buffer pool, fault plan, bounded-retry envelope, metric
+    /// registry.
+    fn build_machine(&self) -> (Machine, Option<Arc<ExecMetrics>>) {
         let mut machine = Machine::with_sharded_pool(
             &self.cfg.machine,
             self.cfg.scale,
             self.cfg.bufpool_pages,
             self.cfg.effective_shards(),
-        );
+        )
+        .with_retry(self.cfg.read_attempts, self.cfg.retry_backoff);
         if let Some(plan) = &self.cfg.faults {
             machine = machine.with_faults(plan.clone());
         }
@@ -725,14 +821,61 @@ impl Executor {
         if let Some(m) = &metrics {
             machine = machine.with_metrics(m.clone());
         }
-        let machine = Arc::new(machine);
-        let pool = WorkerPool::new(match self.cfg.data_path {
-            DataPath::Decontended => self.cfg.machine.n_procs as usize,
-            // The baseline pool starts empty and grows to peak concurrent
-            // demand — capped reuse instead of the seed's spawn-per-slot.
-            DataPath::GlobalLock => 0,
-        });
-        let backends = Backends::new(&pool);
+        (machine, metrics)
+    }
+
+    /// A long-lived machine + worker pool for [`Executor::run_shared`].
+    pub fn session(&self) -> ExecSession {
+        let (machine, metrics) = self.build_machine();
+        ExecSession {
+            machine: Arc::new(machine),
+            pool: WorkerPool::new(match self.cfg.data_path {
+                DataPath::Decontended => self.cfg.machine.n_procs as usize,
+                DataPath::GlobalLock => 0,
+            }),
+            metrics,
+        }
+    }
+
+    fn run_inner(
+        &self,
+        queries: &[QueryRun],
+        policy: &mut dyn SchedulePolicy,
+        tokens: &[CancelToken],
+        session: Option<&ExecSession>,
+    ) -> Result<ExecReport, ExecError> {
+        assert!(
+            tokens.is_empty() || tokens.len() == queries.len(),
+            "one cancel token per query (or none at all): {} tokens for {} queries",
+            tokens.len(),
+            queries.len()
+        );
+        // Private runs build their own machine and thread pool; shared
+        // runs borrow the session's, so one buffer pool arbitrates grants
+        // across every concurrent run.
+        let owned: Option<(Arc<Machine>, WorkerPool, Option<Arc<ExecMetrics>>)> = match session {
+            Some(_) => None,
+            None => {
+                let (machine, metrics) = self.build_machine();
+                Some((
+                    Arc::new(machine),
+                    WorkerPool::new(match self.cfg.data_path {
+                        DataPath::Decontended => self.cfg.machine.n_procs as usize,
+                        // The baseline pool starts empty and grows to peak
+                        // concurrent demand — capped reuse instead of the
+                        // seed's spawn-per-slot.
+                        DataPath::GlobalLock => 0,
+                    }),
+                    metrics,
+                ))
+            }
+        };
+        let (machine, pool, metrics, shared) = match (&owned, session) {
+            (Some((m, p, met)), _) => (m.clone(), p, met.clone(), false),
+            (None, Some(s)) => (s.machine.clone(), &s.pool, s.metrics.clone(), true),
+            (None, None) => unreachable!("owned machine xor session"),
+        };
+        let backends = Backends::new(pool, shared);
         let (tx, rx) = channel::<MasterMsg>();
         let t0 = Instant::now();
 
@@ -758,7 +901,7 @@ impl Executor {
             if compiled != optimized {
                 let err = ExecError::PlanMismatch { query: qi, compiled, optimized };
                 emit(&self.sink, || TraceRecord::Error { now: 0.0, message: err.to_string() });
-                backends.shutdown();
+                backends.shutdown(&frags);
                 return Err(err);
             }
             let base = frags.len();
@@ -787,12 +930,18 @@ impl Executor {
                     queued: false,
                     spill_chunks: 0,
                     spill_rows: 0,
+                    observed_pages: 0,
                 });
             }
         }
 
         let mut done_count = 0usize;
         let total = frags.len();
+        let mut cancelled_q = vec![false; queries.len()];
+        // A token is "spent" once observed fired; it is polled no further.
+        let mut token_spent = vec![false; tokens.len()];
+        let mut footprint_overruns = 0u64;
+        let mut footprint_warnings: Vec<String> = Vec::new();
 
         emit(&self.sink, || TraceRecord::RunStart {
             driver: "executor".to_string(),
@@ -800,12 +949,18 @@ impl Executor {
             machine: self.cfg.machine.clone(),
         });
 
-        // A control-path failure: record it, drain every worker, and hand
-        // back the typed error with the completion progress attached.
-        let fail = |e: ControlFail, done: usize, now: f64, frags: &[FragSlot], b: &Backends<'_>| {
+        // A control-path failure: record it, drain every worker, release
+        // every held grant, and hand back the typed error with the
+        // completion progress attached.
+        let fail = |e: ControlFail,
+                    done: usize,
+                    now: f64,
+                    frags: &mut [FragSlot],
+                    admission: &mut Admission,
+                    b: &Backends<'_>| {
             let exec = e.into_exec(done, total);
             emit(&self.sink, || TraceRecord::Error { now, message: exec.to_string() });
-            drain(frags, b);
+            drain(frags, b, &machine, admission);
             exec
         };
 
@@ -823,12 +978,13 @@ impl Executor {
         // each applied decision, one at run end.
         let mut samples: Vec<UtilSample> = Vec::new();
         let mut admission = Admission::new();
-        if let Err(e) = self.decide(policy, &mut frags, &mut admission, &machine, &tx, &backends, t0)
+        if let Err(e) = self
+            .decide(policy, &mut frags, &mut admission, &cancelled_q, &machine, &tx, &backends, t0)
         {
-            return Err(fail(e, done_count, now(t0), &frags, &backends));
+            return Err(fail(e, done_count, now(t0), &mut frags, &mut admission, &backends));
         }
         if let Err(e) = wedge_check(policy, &frags, done_count) {
-            return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
+            return Err(fail(e.into(), done_count, now(t0), &mut frags, &mut admission, &backends));
         }
         samples.push(util_sample(now(t0), &frags, &machine));
 
@@ -843,42 +999,119 @@ impl Executor {
         let mut patrol_ticks = 0u64;
 
         while done_count < frags.len() {
-            let msg = match next_msg(&rx, patrol_deadline) {
+            // Poll cancellation tokens: each fired token cancels every
+            // fragment of its query exactly once, then the admission FIFO
+            // is retried (a cancelled entry may have been blocking its
+            // head).
+            let mut any_fired = false;
+            for (qi, tok) in tokens.iter().enumerate() {
+                if !token_spent[qi] && tok.is_cancelled() {
+                    token_spent[qi] = true;
+                    // A token that fires after its query already finished
+                    // changes nothing: the results stand and the query is
+                    // not reported cancelled.
+                    if self.cancel_query(
+                        qi,
+                        &mut frags,
+                        &mut admission,
+                        policy,
+                        &tx,
+                        &mut done_count,
+                        now(t0),
+                    ) {
+                        cancelled_q[qi] = true;
+                        any_fired = true;
+                    }
+                }
+            }
+            if any_fired {
+                self.retry_admission(&mut frags, &mut admission, &machine, &backends, t0);
+                if done_count >= frags.len() {
+                    break;
+                }
+            }
+            // Sleep until the next message, the patrol deadline, or the
+            // earliest pending per-query deadline — whichever comes first.
+            let token_deadline = tokens
+                .iter()
+                .enumerate()
+                .filter(|&(qi, _)| !token_spent[qi])
+                .filter_map(|(_, t)| t.deadline_instant())
+                .min();
+            let wake = match (patrol_deadline, token_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let msg = match next_msg(&rx, wake) {
                 Ok(Some(msg)) => msg,
                 Ok(None) => {
-                    // Patrol tick: reap dead workers, then check whether the
-                    // observed I/O rate has drifted out of the model's band.
-                    patrol_deadline = patrol_interval.map(|d| Instant::now() + d);
-                    patrol_ticks += 1;
-                    patrol.reap(&frags, &backends, &machine, &self.catalog);
-                    if let Some(corrected) = patrol.recalibrate(&machine) {
-                        let t = now(t0);
-                        emit(&self.sink, || TraceRecord::Recalibrate {
-                            now: t,
-                            observed_b: corrected.total_bandwidth(),
-                            modeled_b: patrol.model.total_bandwidth(),
-                            machine: corrected.clone(),
-                        });
-                        patrol.model = corrected.clone();
-                        patrol.recalibrations += 1;
-                        policy.recalibrate(t, corrected);
-                        // The corrected rates may change the balance point:
-                        // re-enter the policy so running fragments can be
-                        // adjusted and queued work re-planned.
-                        if let Err(e) = self
-                            .decide(policy, &mut frags, &mut admission, &machine, &tx, &backends, t0)
-                        {
-                            return Err(fail(e, done_count, now(t0), &frags, &backends));
+                    // Woken by a deadline. Fired tokens are picked up at
+                    // the top of the loop; the patrol runs only when its
+                    // own deadline has actually passed (the wake may have
+                    // been a token's).
+                    if patrol_deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Patrol tick: reap dead workers, then check
+                        // whether the observed I/O rate has drifted out of
+                        // the model's band.
+                        patrol_deadline = patrol_interval.map(|d| Instant::now() + d);
+                        patrol_ticks += 1;
+                        patrol.reap(&frags, &backends, &machine, &self.catalog);
+                        // With a shared session, capacity freed by *other*
+                        // runs sends this run no completion message: retry
+                        // the admission FIFO on every tick so a queued
+                        // fragment is never stranded.
+                        self.retry_admission(&mut frags, &mut admission, &machine, &backends, t0);
+                        if let Some(corrected) = patrol.recalibrate(&machine) {
+                            let t = now(t0);
+                            emit(&self.sink, || TraceRecord::Recalibrate {
+                                now: t,
+                                observed_b: corrected.total_bandwidth(),
+                                modeled_b: patrol.model.total_bandwidth(),
+                                machine: corrected.clone(),
+                            });
+                            patrol.model = corrected.clone();
+                            patrol.recalibrations += 1;
+                            policy.recalibrate(t, corrected);
+                            // The corrected rates may change the balance
+                            // point: re-enter the policy so running
+                            // fragments can be adjusted and queued work
+                            // re-planned.
+                            if let Err(e) = self.decide(
+                                policy,
+                                &mut frags,
+                                &mut admission,
+                                &cancelled_q,
+                                &machine,
+                                &tx,
+                                &backends,
+                                t0,
+                            ) {
+                                return Err(fail(
+                                    e,
+                                    done_count,
+                                    now(t0),
+                                    &mut frags,
+                                    &mut admission,
+                                    &backends,
+                                ));
+                            }
+                            if let Err(e) = wedge_check(policy, &frags, done_count) {
+                                return Err(fail(
+                                    e.into(),
+                                    done_count,
+                                    now(t0),
+                                    &mut frags,
+                                    &mut admission,
+                                    &backends,
+                                ));
+                            }
+                            samples.push(util_sample(now(t0), &frags, &machine));
                         }
-                        if let Err(e) = wedge_check(policy, &frags, done_count) {
-                            return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
-                        }
-                        samples.push(util_sample(now(t0), &frags, &machine));
                     }
                     continue;
                 }
                 Err(_) => {
-                    drain(&frags, &backends);
+                    drain(&mut frags, &backends, &machine, &mut admission);
                     return Err(ExecError::ChannelClosed {
                         completed: done_count,
                         total: frags.len(),
@@ -888,15 +1121,15 @@ impl Executor {
             let gid = match msg {
                 MasterMsg::FragmentDone(gid) => gid,
                 MasterMsg::WorkerPanicked { gid, message } => {
-                    drain(&frags, &backends);
+                    drain(&mut frags, &backends, &machine, &mut admission);
                     return Err(ExecError::WorkerPanicked { fragment: gid, message });
                 }
                 MasterMsg::IoFault { gid, fault } => {
-                    drain(&frags, &backends);
+                    drain(&mut frags, &backends, &machine, &mut admission);
                     return Err(ExecError::IoFault { fragment: gid, fault });
                 }
                 MasterMsg::IndexMissing { gid, name } => {
-                    drain(&frags, &backends);
+                    drain(&mut frags, &backends, &machine, &mut admission);
                     return Err(ExecError::IndexMissing { fragment: gid, name });
                 }
             };
@@ -906,9 +1139,17 @@ impl Executor {
             let ctx = match take_running(&mut frags[gid].status, finished) {
                 Ok(ctx) => ctx,
                 Err(e) => {
-                    return Err(fail(e.into(), done_count, t_done, &frags, &backends));
+                    return Err(fail(
+                        e.into(),
+                        done_count,
+                        t_done,
+                        &mut frags,
+                        &mut admission,
+                        &backends,
+                    ));
                 }
             };
+            let was_cancelled = ctx.cancelled.load(Ordering::SeqCst);
             frags[gid].units = ctx.units_done.load(Ordering::SeqCst);
             frags[gid].staffed = ctx.staffed.load(Ordering::Relaxed);
             frags[gid].heartbeats =
@@ -916,6 +1157,26 @@ impl Executor {
             if let Some(spec) = &ctx.spill {
                 frags[gid].spill_chunks = spec.chunks.load(Ordering::Relaxed);
                 frags[gid].spill_rows = spec.rows.load(Ordering::Relaxed);
+            }
+            frags[gid].observed_pages = ctx.pages_read.load(Ordering::Relaxed);
+            // Observed-vs-declared footprint: detection only. The observed
+            // count includes pool hits and re-reads after eviction, so it
+            // is an upper bound that disk-resident scans overrun
+            // routinely; the counter and warning make the drift visible
+            // without failing anyone's run.
+            let declared =
+                (frags[gid].profile.memory / PAGE_SIZE as f64).ceil() as u64;
+            if declared > 0 && frags[gid].observed_pages > declared {
+                footprint_overruns += 1;
+                if let Some(m) = &metrics {
+                    m.mem_overruns.inc();
+                }
+                footprint_warnings.push(format!(
+                    "fragment {}: observed {} pages exceeds declared {} pages",
+                    frags[gid].profile.id.0,
+                    frags[gid].observed_pages,
+                    declared
+                ));
             }
             // Release the completed fragment's grant, then hand the freed
             // capacity to the admission queue — the deferred fragments are
@@ -927,7 +1188,13 @@ impl Executor {
                 }
             }
             self.retry_admission(&mut frags, &mut admission, &machine, &backends, t0);
-            let (rows, merge) = self.materialize(&ctx, &backends, &machine);
+            // A cancelled fragment's partial output is never observable:
+            // the query's contract is all rows or none.
+            let (rows, merge) = if was_cancelled {
+                (Materialized::build(Vec::new()), MergeProfile::default())
+            } else {
+                self.materialize(&ctx, &backends, &machine)
+            };
             frags[gid].merge = merge;
             frags[gid].output = Some(Arc::new(rows));
             frags[gid].finished_at = t_done;
@@ -949,28 +1216,34 @@ impl Executor {
                     policy.on_arrival(t_done, frags[i].profile.clone());
                 }
             }
-            if let Err(e) =
-                self.decide(policy, &mut frags, &mut admission, &machine, &tx, &backends, t0)
+            if let Err(e) = self
+                .decide(policy, &mut frags, &mut admission, &cancelled_q, &machine, &tx, &backends, t0)
             {
-                return Err(fail(e, done_count, now(t0), &frags, &backends));
+                return Err(fail(e, done_count, now(t0), &mut frags, &mut admission, &backends));
             }
             if let Err(e) = wedge_check(policy, &frags, done_count) {
-                return Err(fail(e.into(), done_count, now(t0), &frags, &backends));
+                return Err(fail(e.into(), done_count, now(t0), &mut frags, &mut admission, &backends));
             }
             samples.push(util_sample(now(t0), &frags, &machine));
         }
 
-        backends.shutdown();
+        backends.shutdown(&frags);
 
         let wall = now(t0);
         samples.push(util_sample(wall, &frags, &machine));
         let mut results = Vec::with_capacity(queries.len());
-        for qi in 0..queries.len() {
+        for (qi, &was_cancelled) in cancelled_q.iter().enumerate() {
             let root = frags
                 .iter()
                 .find(|f| f.query == qi && f.is_root)
                 .ok_or(ExecError::RootMissing { query: qi })?;
-            let rows = root.output.clone().ok_or(ExecError::OutputMissing { query: qi })?;
+            let rows = match root.output.clone() {
+                Some(rows) => rows,
+                // A cancelled root retired from Blocked/Ready never
+                // materialized anything; its contracted result is empty.
+                None if was_cancelled => Arc::new(Materialized::build(Vec::new())),
+                None => return Err(ExecError::OutputMissing { query: qi }),
+            };
             results.push(QueryResult { rows, finished_at: root.finished_at });
         }
         let profiles: Vec<QueryProfile> = results
@@ -980,6 +1253,7 @@ impl Executor {
                 query: qi,
                 finished_at: r.finished_at,
                 rows: r.rows.rows.len() as u64,
+                cancelled: cancelled_q[qi],
                 fragments: frags
                     .iter()
                     .filter(|f| f.query == qi)
@@ -994,6 +1268,8 @@ impl Executor {
                         adjusts: f.adjusts,
                         heartbeats: f.heartbeats,
                         merge: f.merge,
+                        observed_pages: f.observed_pages,
+                        declared_pages: (f.profile.memory / PAGE_SIZE as f64).ceil() as u64,
                     })
                     .collect(),
             })
@@ -1027,6 +1303,9 @@ impl Executor {
             profiles,
             samples,
             metrics,
+            cancelled: cancelled_q,
+            footprint_overruns,
+            footprint_warnings,
         };
         if let Some(path) = &self.cfg.metrics_out {
             std::fs::write(path, report.metrics_json()).map_err(|e| {
@@ -1121,6 +1400,7 @@ impl Executor {
         policy: &mut dyn SchedulePolicy,
         frags: &mut [FragSlot],
         admission: &mut Admission,
+        cancelled_q: &[bool],
         machine: &Arc<Machine>,
         tx: &Sender<MasterMsg>,
         backends: &Backends<'_>,
@@ -1161,6 +1441,12 @@ impl Executor {
                     .iter()
                     .position(|f| f.profile.id == id)
                     .ok_or(SchedError::UnknownTask { task: id })?;
+                // Actions aimed at a cancelled query are stale by
+                // construction — the policy decided before digesting its
+                // finish events — so they are dropped, not indicted.
+                if cancelled_q[frags[gid].query] {
+                    continue;
+                }
                 match a {
                     Action::Start { .. } => self.start_fragment(
                         frags,
@@ -1326,6 +1612,8 @@ impl Executor {
             target_parallelism: AtomicU32::new(x),
             done: AtomicBool::new(false),
             aborted: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            pages_read: AtomicU64::new(0),
             done_tx: tx.clone(),
             cpu_tuple: self.cfg.cpu_tuple,
             out_batch_tuples: self.cfg.effective_out_batch(),
@@ -1476,6 +1764,156 @@ impl Executor {
             backends.staff(ctx, slot, machine, &self.catalog);
         }
     }
+
+    /// Cancel every fragment of query `qi`.
+    ///
+    /// Fragments retire according to how far they got: `Blocked` ones were
+    /// never announced to the policy and disappear silently; `Ready` and
+    /// admission-queued ones retire through the policy's finish protocol
+    /// (so it never waits on them); staffed ones have their workers
+    /// stopped cooperatively — the flag is observed at unit and morsel
+    /// boundaries, every steal slot is revoked so mid-morsel remainders
+    /// are never redealt, and the ordinary completion protocol then
+    /// releases the grant, pins and partition shares exactly once.
+    ///
+    /// Returns whether any fragment was actually cut short — `false`
+    /// means the query had already finished and its results stand.
+    #[allow(clippy::too_many_arguments)]
+    fn cancel_query(
+        &self,
+        qi: usize,
+        frags: &mut [FragSlot],
+        admission: &mut Admission,
+        policy: &mut dyn SchedulePolicy,
+        tx: &Sender<MasterMsg>,
+        done_count: &mut usize,
+        t: f64,
+    ) -> bool {
+        enum Plan {
+            Skip,
+            Retire { announce: bool },
+            Stop(Arc<FragCtx>),
+        }
+        // Whether the cancel found anything left to cut short. A token
+        // firing after every fragment finished is a no-op: the query
+        // completed, its results stand.
+        let mut affected = false;
+        for (gid, frag) in frags.iter_mut().enumerate() {
+            if frag.query != qi {
+                continue;
+            }
+            let plan = match &frag.status {
+                FragStatus::Done => Plan::Skip,
+                FragStatus::Blocked => Plan::Retire { announce: false },
+                FragStatus::Ready => Plan::Retire { announce: true },
+                FragStatus::Running(ctx) => {
+                    if frag.queued {
+                        // Parked in the admission FIFO: Running in the
+                        // policy's eyes but no workers are staffed and no
+                        // grant is held — retire it directly.
+                        Plan::Retire { announce: true }
+                    } else {
+                        Plan::Stop(ctx.clone())
+                    }
+                }
+            };
+            match plan {
+                Plan::Skip => {}
+                Plan::Retire { announce } => {
+                    affected = true;
+                    if frag.queued {
+                        admission.queue.retain(|&(g, _)| g != gid);
+                        frag.queued = false;
+                    }
+                    frag.status = FragStatus::Done;
+                    frag.finished_at = t;
+                    *done_count += 1;
+                    if announce {
+                        let finished = frag.profile.id;
+                        emit(&self.sink, || TraceRecord::Finish { now: t, task: finished });
+                        policy.on_finish(t, finished);
+                    }
+                }
+                Plan::Stop(ctx) => {
+                    affected = true;
+                    // Workers observe the flag at the next unit or morsel
+                    // boundary; revoking every steal slot stops mid-morsel
+                    // claims too (the forfeited remainder is never
+                    // redealt). Finalization then arrives through the
+                    // ordinary FragmentDone.
+                    ctx.cancelled.store(true, Ordering::SeqCst);
+                    {
+                        let p = lock(&ctx.partition);
+                        if let PartitionState::Morsel { part, .. } = &*p {
+                            part.revoke_all();
+                        }
+                    }
+                    // The death window: between a worker death and the
+                    // patrol's replacement, `outstanding` can be 0 with
+                    // units unfinished — no worker is left to fire the
+                    // completion. Fire it from here through the same
+                    // `done` latch; whichever side swaps first sends, so
+                    // it is exactly-once.
+                    if ctx.outstanding.load(Ordering::SeqCst) == 0
+                        && !ctx.done.swap(true, Ordering::SeqCst)
+                    {
+                        let _ = tx.send(MasterMsg::FragmentDone(gid));
+                    }
+                }
+            }
+        }
+        affected
+    }
+}
+
+/// A long-lived machine + worker pool shared by concurrent
+/// [`Executor::run_shared`] calls — the substrate of a continuous query
+/// service. Every admission grant comes from the one buffer pool (so
+/// memory admission arbitrates *across* runs) and every worker slot is
+/// staffed onto the one pool of threads. The ledger accessors exist for
+/// exactly-once audits: after all runs have quiesced,
+/// [`ExecSession::reserved_pages`] and [`ExecSession::pinned_pages`] must
+/// both be zero or something leaked.
+pub struct ExecSession {
+    machine: Arc<Machine>,
+    pool: WorkerPool,
+    metrics: Option<Arc<ExecMetrics>>,
+}
+
+impl ExecSession {
+    /// The shared simulated machine (its buffer pool backs every grant).
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The shared metric registry, when the config enabled one.
+    pub fn metrics(&self) -> Option<&Arc<ExecMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Buffer-pool pages currently reserved by admission grants across
+    /// every run on this session. Zero once all runs have finished —
+    /// anything else is a grant leak.
+    pub fn reserved_pages(&self) -> u64 {
+        self.machine.pool().map_or(0, |p| p.reserved())
+    }
+
+    /// Pages currently pinned across the session. Zero at quiesce —
+    /// anything else is a pin leak.
+    pub fn pinned_pages(&self) -> u64 {
+        self.machine.pool_pinned()
+    }
+
+    /// OS threads the shared worker pool has created so far.
+    pub fn threads_spawned(&self) -> u64 {
+        self.pool.threads_spawned()
+    }
+
+    /// Run the shared worker pool down and join every thread. Idempotent;
+    /// also invoked when the session is dropped.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
 }
 
 /// How worker slots become running threads: always the persistent
@@ -1490,11 +1928,14 @@ impl Executor {
 struct Backends<'a> {
     pool: &'a WorkerPool,
     staffed: AtomicU64,
+    /// The pool is borrowed from a long-lived [`ExecSession`]: shutdown
+    /// quiesces this run's workers instead of running the threads down.
+    shared: bool,
 }
 
 impl<'a> Backends<'a> {
-    fn new(pool: &'a WorkerPool) -> Self {
-        Backends { pool, staffed: AtomicU64::new(0) }
+    fn new(pool: &'a WorkerPool, shared: bool) -> Self {
+        Backends { pool, staffed: AtomicU64::new(0), shared }
     }
 
     /// Staff worker slot `slot` of `ctx`: accounts the worker in the
@@ -1535,9 +1976,28 @@ impl<'a> Backends<'a> {
         self.pool.threads_spawned()
     }
 
-    /// Run everything down and join every thread this run created.
-    fn shutdown(&self) {
-        self.pool.shutdown();
+    /// Run this run's workers down. A private pool is shut down outright
+    /// (every thread joined); a shared session's pool stays alive for
+    /// concurrent runs, so instead this waits for the run's own
+    /// outstanding workers to drain — they observe `aborted`/`cancelled`
+    /// at the next unit boundary. The hard cap turns a wedged worker into
+    /// a leaked thread instead of a hung service.
+    fn shutdown(&self, frags: &[FragSlot]) {
+        if !self.shared {
+            self.pool.shutdown();
+            return;
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let busy = frags.iter().any(|f| match &f.status {
+                FragStatus::Running(ctx) => ctx.outstanding.load(Ordering::SeqCst) > 0,
+                _ => false,
+            });
+            if !busy || Instant::now() >= deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
     }
 }
 
@@ -1623,6 +2083,11 @@ impl Patrol {
             let FragStatus::Running(ctx) = &f.status else { continue };
             if ctx.units_done.load(Ordering::SeqCst) >= ctx.total_units
                 || ctx.aborted.load(Ordering::Relaxed)
+                // Cancelled workers exit voluntarily at the next unit
+                // boundary; their frozen heartbeats must not read as
+                // deaths (a "replacement" would immediately exit, but the
+                // staffing churn would distort the recovery counters).
+                || ctx.cancelled.load(Ordering::Relaxed)
             {
                 continue;
             }
@@ -1780,15 +2245,31 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Stop the run: tell every running fragment's workers to drain, then run
-/// the backends down so no thread outlives the error.
-fn drain(frags: &[FragSlot], backends: &Backends<'_>) {
-    for f in frags {
+/// Stop the run: tell every running fragment's workers to drain, release
+/// every grant still held, then run the backends down so no thread
+/// outlives the error.
+///
+/// Grant release here is load-bearing: a [`xprs_storage::ShardReservation`]
+/// has no `Drop`, so an error path that abandoned the slot would shrink
+/// the — possibly shared, possibly service-lifetime — pool forever.
+fn drain(
+    frags: &mut [FragSlot],
+    backends: &Backends<'_>,
+    machine: &Machine,
+    admission: &mut Admission,
+) {
+    for f in frags.iter_mut() {
         if let FragStatus::Running(ctx) = &f.status {
             ctx.aborted.store(true, Ordering::Relaxed);
         }
+        if let Some(grant) = f.grant.take() {
+            admission.released_pages += grant.pages();
+            if let Some(pool) = machine.pool() {
+                pool.release(grant);
+            }
+        }
     }
-    backends.shutdown();
+    backends.shutdown(frags);
 }
 
 /// A fragment's unit space before it is wrapped in a partition: heap pages

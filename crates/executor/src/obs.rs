@@ -80,6 +80,11 @@ pub struct ExecMetrics {
     /// double release under a spill/retry race. Debug builds still assert;
     /// in release this counter is the only trace the anomaly leaves.
     pub unpin_anomalies: Counter,
+    /// Fragments whose observed page footprint (reads, pool hits included)
+    /// exceeded the pages their declared `TaskProfile::memory` implied.
+    /// Detection only — nothing is throttled or failed; the counter makes
+    /// estimate drift visible to the service operator.
+    pub mem_overruns: Counter,
 }
 
 /// How one fragment's output was materialized.
@@ -119,6 +124,13 @@ pub struct FragmentProfile {
     pub heartbeats: u64,
     /// How its output was materialized.
     pub merge: MergeProfile,
+    /// Pages its workers actually read — buffer-pool hits and re-reads
+    /// after eviction included, so an *upper bound* on the working set.
+    pub observed_pages: u64,
+    /// Pages its declared `TaskProfile::memory` implied (0 = undeclared).
+    /// `observed_pages > declared_pages` marks an estimate overrun; see
+    /// `ExecReport::footprint_overruns`.
+    pub declared_pages: u64,
 }
 
 /// Per-query rollup of [`FragmentProfile`]s, in submission order.
@@ -130,6 +142,8 @@ pub struct QueryProfile {
     pub finished_at: f64,
     /// Rows the root fragment materialized.
     pub rows: u64,
+    /// Whether the query's cancel token fired before its root completed.
+    pub cancelled: bool,
     /// The query's fragments, in fragment order.
     pub fragments: Vec<FragmentProfile>,
 }
@@ -389,7 +403,7 @@ impl ExecReport {
                         format!(
                             "{{\"task\":{},\"is_root\":{},\"started_at\":{},\"finished_at\":{},\
                              \"units\":{},\"staffed\":{},\"adjusts\":{},\"heartbeats\":{},\
-                             \"merge\":{}}}",
+                             \"merge\":{},\"observed_pages\":{},\"declared_pages\":{}}}",
                             f.task.0,
                             f.is_root,
                             fnum(f.started_at),
@@ -398,15 +412,19 @@ impl ExecReport {
                             f.staffed,
                             f.adjusts,
                             f.heartbeats,
-                            merge_json(&f.merge)
+                            merge_json(&f.merge),
+                            f.observed_pages,
+                            f.declared_pages
                         )
                     })
                     .collect();
                 format!(
-                    "{{\"query\":{},\"finished_at\":{},\"rows\":{},\"fragments\":[{}]}}",
+                    "{{\"query\":{},\"finished_at\":{},\"rows\":{},\"cancelled\":{},\
+                     \"fragments\":[{}]}}",
                     q.query,
                     fnum(q.finished_at),
                     q.rows,
+                    q.cancelled,
                     frags.join(",")
                 )
             })
@@ -448,7 +466,8 @@ impl ExecReport {
              \"events\":{{\"staffed\":{},\"adjusts\":{},\"heartbeats\":{},\"patrol_ticks\":{},\
              \"recoveries\":{},\"recalibrations\":{},\"pool_threads\":{}}},\
              \"memory\":{{\"granted_pages\":{},\"released_pages\":{},\"grant_waits\":{},\
-             \"spill_chunks\":{},\"spill_rows\":{},\"pinned_at_exit\":{}}},\
+             \"spill_chunks\":{},\"spill_rows\":{},\"pinned_at_exit\":{},\
+             \"footprint_overruns\":{}}},\
              \"gate_wait_ns\":{},\"io\":{},\"merge\":{},\"morsel\":{},\
              \"queries\":[{}],\"utilization_audit\":{}}}",
             jstr("xprs-metrics/1"),
@@ -478,6 +497,7 @@ impl ExecReport {
             self.spill_chunks,
             self.spill_rows,
             self.pool_pinned_at_exit,
+            self.footprint_overruns,
             gate,
             io,
             merge_hist,

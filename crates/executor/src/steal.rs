@@ -249,6 +249,23 @@ impl StealPartition {
         slots.len() - 1
     }
 
+    /// Revoke **every** slot and discard all unclaimed work — per-query
+    /// cancellation. Each claim word takes the `REVOKED` bit, so a worker
+    /// mid-steal (or mid-morsel) loses its next `claim_unit` CAS and drains
+    /// at the very next unit boundary; units already claimed before the bit
+    /// landed stay the claimant's responsibility and are finished and
+    /// reported, exactly as with [`StealPartition::fail_slot`] — the
+    /// completion ledger never double-counts or loses a unit, the forfeited
+    /// remainder is simply never handed out again.
+    pub fn revoke_all(&self) {
+        let mut slots = lock(&self.inner);
+        for s in slots.iter_mut() {
+            s.revoked = true;
+            s.claim.fetch_or(REVOKED, Ordering::SeqCst);
+            s.pending.clear();
+        }
+    }
+
     /// Adjust to `new_parallelism` active slots. Growing adds empty slots
     /// (they immediately steal); shrinking revokes the highest-numbered
     /// active slots and redistributes their unclaimed work round-robin
@@ -480,6 +497,27 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (3..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn revoke_all_stops_every_slot_mid_morsel() {
+        let p = StealPartition::new(64, 8, 4, 3);
+        // Slot 0 is mid-morsel (2 of 8 units claimed), slot 1 unstarted,
+        // slot 2 has stolen from slot 3's deque.
+        let claim0 = p.claim_of(0);
+        p.next_morsel(0).expect("own morsel");
+        assert_eq!(StealPartition::claim_unit(&claim0), Some(0));
+        assert_eq!(StealPartition::claim_unit(&claim0), Some(1));
+        p.next_morsel(3).expect("start slot 3 so its surplus is stealable");
+        p.revoke_all();
+        // Every in-flight claim refuses, every deque is empty, and no slot
+        // — owner, thief, or fresh — can draw another morsel.
+        for slot in 0..p.n_slots() {
+            assert_eq!(StealPartition::claim_unit(&p.claim_of(slot)), None, "slot {slot}");
+            assert!(p.next_morsel(slot).is_none(), "slot {slot} must draw nothing");
+        }
+        assert_eq!(p.pending_units(), 0, "unclaimed work is forfeited, not redealt");
+        assert!(p.active_slots().is_empty());
     }
 
     #[test]

@@ -221,6 +221,17 @@ pub(crate) struct FragCtx {
     pub done: AtomicBool,
     /// Abort flag: workers drain without scanning further work.
     pub aborted: AtomicBool,
+    /// Cooperative per-query cancellation: like `aborted`, workers stop at
+    /// the next unit/morsel boundary — but the completion protocol keeps
+    /// running (the last exiting worker still fires the done message, see
+    /// [`FragCtx::worker_exit`]), so the master releases the fragment's
+    /// grant and harvests its partial state through the ordinary path.
+    pub cancelled: AtomicBool,
+    /// Heap pages this fragment actually read (observed footprint), for the
+    /// declared-vs-observed memory audit. Counts every page read issued,
+    /// including re-reads after eviction — an upper bound on the working
+    /// set, compared against the declared grant pages at completion.
+    pub pages_read: AtomicU64,
     /// Master notification channel.
     pub done_tx: Sender<MasterMsg>,
     /// CPU seconds charged per tuple examined.
@@ -241,6 +252,13 @@ pub(crate) struct FragCtx {
 impl FragCtx {
     fn solo(&self) -> bool {
         self.target_parallelism.load(Ordering::Relaxed) == 1
+    }
+
+    /// Whether workers should stop pulling work at the next boundary —
+    /// whole-run abort or per-query cancellation, checked together at every
+    /// existing checkpoint.
+    pub(crate) fn stopped(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed) || self.cancelled.load(Ordering::Relaxed)
     }
 
     fn input(&self, dep: usize) -> &Materialized {
@@ -275,11 +293,15 @@ impl FragCtx {
     }
 
     /// One worker job has fully exited (buffers flushed). Fires the done
-    /// message when it was the last live worker and all units are finished.
+    /// message when it was the last live worker and all units are finished
+    /// — or the fragment was cancelled, in which case the remaining units
+    /// are forfeited and the last worker out still announces completion so
+    /// the master can release the grant through the ordinary path.
     pub(crate) fn worker_exit(&self) {
         let remaining = self.outstanding.fetch_sub(1, Ordering::SeqCst) - 1;
         if remaining == 0
-            && self.units_done.load(Ordering::SeqCst) == self.total_units
+            && (self.units_done.load(Ordering::SeqCst) == self.total_units
+                || self.cancelled.load(Ordering::SeqCst))
             && !self.done.swap(true, Ordering::SeqCst)
         {
             let _ = self.done_tx.send(MasterMsg::FragmentDone(self.gid));
@@ -341,7 +363,10 @@ impl<'m> WorkerState<'m> {
             return false;
         }
         match self.machine.try_read(rel, block, self.wid, solo) {
-            Ok(_) => true,
+            Ok(_) => {
+                ctx.pages_read.fetch_add(1, Ordering::Relaxed);
+                true
+            }
             Err(fault) => {
                 self.io_fault = Some(fault);
                 ctx.aborted.store(true, Ordering::Relaxed);
@@ -467,7 +492,7 @@ pub(crate) fn run_worker(
     }
     let mut my_units = 0u64;
     loop {
-        if ctx.aborted.load(Ordering::Relaxed) {
+        if ctx.stopped() {
             break;
         }
         // Injected worker faults fire at unit boundaries: a pulled unit is
@@ -555,7 +580,7 @@ fn run_morsel_worker(
     let mut loc_steals = 0u64;
     let mut loc_fails = 0u64;
     'morsels: loop {
-        if ctx.aborted.load(Ordering::Relaxed) {
+        if ctx.stopped() {
             break;
         }
         let sampled = metrics.is_some() && episodes.is_multiple_of(MORSEL_SAMPLE);
@@ -578,7 +603,7 @@ fn run_morsel_worker(
             }
         }
         loop {
-            if ctx.aborted.load(Ordering::Relaxed) {
+            if ctx.stopped() {
                 break;
             }
             // Faults fire at unit boundaries, exactly as on the static
@@ -618,7 +643,7 @@ fn run_morsel_worker(
         if let (Some(m), Some(t0)) = (&metrics, morsel_t0) {
             m.morsel_ns.observe(t0.elapsed().as_nanos() as u64);
         }
-        if ctx.aborted.load(Ordering::Relaxed) {
+        if ctx.stopped() {
             break 'morsels;
         }
     }

@@ -229,17 +229,33 @@ impl TraceSink for RingSink {
 /// Streams each record as one JSON object per line (JSONL) into any writer.
 /// The JSON is hand-rolled — the workspace builds offline without serde —
 /// and floats round-trip exactly (Rust's shortest-representation `Display`).
+///
+/// A continuous service must cap this sink ([`JsonlSink::bounded`]): an
+/// open-loop arrival stream emits trace records forever, and an unbounded
+/// JSONL file is unbounded growth on the service host. Past the cap the
+/// sink stops writing and counts what it dropped instead.
 #[derive(Debug)]
 pub struct JsonlSink<W: std::io::Write + Send> {
     out: W,
     /// First I/O error encountered, if any (the sink goes quiet after).
     error: Option<std::io::ErrorKind>,
+    /// Records this sink will still write; `None` = unbounded.
+    remaining: Option<u64>,
+    /// Records not written because the cap was reached or the sink had
+    /// already gone quiet on an I/O error.
+    dropped: u64,
 }
 
 impl<W: std::io::Write + Send> JsonlSink<W> {
-    /// A sink writing to `out`.
+    /// An unbounded sink writing to `out` (batch runs, tests).
     pub fn new(out: W) -> Self {
-        JsonlSink { out, error: None }
+        JsonlSink { out, error: None, remaining: None, dropped: 0 }
+    }
+
+    /// A sink that writes at most `max_records` records to `out`, then
+    /// drops (and counts) the rest.
+    pub fn bounded(out: W, max_records: u64) -> Self {
+        JsonlSink { out, error: None, remaining: Some(max_records), dropped: 0 }
     }
 
     /// Unwrap the writer (e.g. to recover a `Vec<u8>` buffer).
@@ -251,12 +267,25 @@ impl<W: std::io::Write + Send> JsonlSink<W> {
     pub fn io_error(&self) -> Option<std::io::ErrorKind> {
         self.error
     }
+
+    /// Records dropped at the cap or after an I/O error.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 impl<W: std::io::Write + Send> TraceSink for JsonlSink<W> {
     fn record(&mut self, rec: &TraceRecord) {
         if self.error.is_some() {
+            self.dropped += 1;
             return; // tracing must never take the run down
+        }
+        if let Some(remaining) = &mut self.remaining {
+            if *remaining == 0 {
+                self.dropped += 1;
+                return;
+            }
+            *remaining -= 1;
         }
         let mut line = rec.to_json();
         line.push('\n');
@@ -897,6 +926,20 @@ mod tests {
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(text.lines().count(), sample_records().len());
         assert_eq!(parse_jsonl(&text).unwrap(), sample_records());
+    }
+
+    #[test]
+    fn bounded_jsonl_sink_stops_at_the_cap_and_counts_drops() {
+        let n = sample_records().len() as u64;
+        let mut sink = JsonlSink::bounded(Vec::<u8>::new(), 2);
+        for rec in sample_records() {
+            sink.record(&rec);
+        }
+        assert!(sink.io_error().is_none());
+        assert_eq!(sink.dropped(), n - 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2, "nothing past the cap is written");
+        assert_eq!(parse_jsonl(&text).unwrap(), sample_records()[..2]);
     }
 
     #[test]

@@ -18,10 +18,12 @@
 //!
 //! Task lengths are uniform between scanning 100 and 10 000 tuples.
 
+pub mod arrivals;
 pub mod calibrate;
 pub mod gen;
 pub mod spec;
 
+pub use arrivals::{generate_arrivals, Arrival, ArrivalSpec, QueryClass, TenantLoad};
 pub use calibrate::{rate_for_tuple_size, tuple_size_for_rate, Calibration};
 pub use gen::{
     generate_disk_resident, generate_oversized_build, DiskResidentRelation, DiskResidentSpec,

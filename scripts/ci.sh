@@ -6,10 +6,10 @@
 #
 #   ./scripts/ci.sh
 #
-# The bench steps write BENCH_executor.json, BENCH_join.json, BENCH_obs.json
-# and metrics.json at the repo root; the recorded numbers live in
-# docs/results/executor_datapath.md, docs/results/join_datapath.md and
-# docs/results/observability.md.
+# The bench steps write BENCH_executor.json, BENCH_join.json, BENCH_obs.json,
+# BENCH_service.json and metrics.json at the repo root; the recorded numbers
+# live in docs/results/executor_datapath.md, docs/results/join_datapath.md,
+# docs/results/observability.md and docs/results/service.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -159,6 +159,78 @@ if ratio > 1.02:
     sys.exit(f"metrics-enabled throughput regression: ratio {ratio} > 1.02")
 print(f"bench_obs OK: paired_bw={bw:.1f} in [{lo},{hi}], overhead={ratio}")
 EOF
+
+echo "==> bench_service (writes BENCH_service.json)"
+# Open-loop soak of the continuous query service: a fixed-seed multi-tenant
+# arrival schedule replayed against three scenarios (fault-free, one
+# injected worker death, one sustained disk slowdown), each in an
+# uncontended and an overloaded phase.
+./target/release/bench_service BENCH_service.json
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("BENCH_service.json") as f:
+        r = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"BENCH_service.json unreadable or malformed: {e}")
+scenarios = {s["scenario"]: s for s in r["scenarios"]}
+for want in ("no_fault", "worker_death", "disk_slowdown"):
+    if want not in scenarios:
+        sys.exit(f"missing scenario {want}: {sorted(scenarios)}")
+for name, s in scenarios.items():
+    phases = {p["phase"]: p for p in s["phases"]}
+    for pname in ("uncontended", "overload"):
+        if pname not in phases:
+            sys.exit(f"{name}: missing phase {pname}")
+        p = phases[pname]
+        # No admitted query may leak: both ledgers zero once idle, and
+        # every admitted query settled (typed failure included).
+        if p["reserved_pages_at_idle"] != 0 or p["pinned_pages_at_idle"] != 0:
+            sys.exit(f"{name}/{pname}: leaked grant or pin: {p}")
+        for c in p["classes"]:
+            settled = c["completed"] + c["deadline_cancelled"] + c["failed"]
+            if settled != c["submitted"]:
+                sys.exit(f"{name}/{pname}/{c['class']}: "
+                         f"{c['submitted']} admitted, {settled} settled")
+            if c["failed"] != 0:
+                sys.exit(f"{name}/{pname}/{c['class']}: {c['failed']} "
+                         "queries failed (faults must degrade, not fail)")
+    un, over = phases["uncontended"], phases["overload"]
+    # Uncontended load must never shed; overload must shed typed errors
+    # with a sane retry hint, never buffer without bound.
+    if any(c["shed"] != 0 for c in un["classes"]):
+        sys.exit(f"{name}: shed in the uncontended phase: {un['classes']}")
+    if sum(c["shed"] for c in over["classes"]) == 0:
+        sys.exit(f"{name}: overload phase never shed")
+    if over["mean_retry_after_us"] <= 0:
+        sys.exit(f"{name}: shed responses carried no retry_after hint")
+    # Interactive latency must stay distribution-shaped, not collapse into
+    # a hung tail: p99 within a fixed multiple of p50 in both phases. The
+    # multiple is generous (an interactive lookup can queue behind a few
+    # throttled batch joins); the gate exists to catch a p99 in whole
+    # seconds against a p50 in milliseconds — a stuck queue, not noise.
+    for p in (un, over):
+        inter = next(c for c in p["classes"] if c["class"] == "interactive")
+        if inter["completed"] == 0:
+            sys.exit(f"{name}/{p['phase']}: no interactive query completed")
+        if inter["p99_us"] > 96 * max(inter["p50_us"], 1):
+            sys.exit(f"{name}/{p['phase']}: interactive p99 {inter['p99_us']}us "
+                     f"over 96x p50 {inter['p50_us']}us")
+# The fault scenarios must actually engage their faults.
+if scenarios["worker_death"]["deaths_fired"] < 1:
+    sys.exit("worker_death scenario: the death never fired")
+if scenarios["disk_slowdown"]["slow_requests"] == 0:
+    sys.exit("disk_slowdown scenario: the slowdown never engaged")
+nf = {p["phase"]: p for p in scenarios["no_fault"]["phases"]}
+total_shed = sum(c["shed"] for c in nf["overload"]["classes"])
+print(f"service OK: 3 scenarios x 2 phases, zero uncontended shed, "
+      f"{total_shed} typed sheds under overload, ledgers balanced, "
+      f"faults engaged")
+EOF
+
+echo "==> cancel (cancellation suite, fixed seeds, debug + release)"
+PROPTEST_SEED=7 cargo test -q -p xprs-executor --offline --test cancel_proptest
+PROPTEST_SEED=7 cargo test -q -p xprs-executor --release --offline --test cancel_proptest
 
 echo "==> chaos (fault-injection suite, fixed seeds, debug + release)"
 # The workspace legs above already run the chaos tests under proptest's
