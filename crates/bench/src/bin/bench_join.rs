@@ -17,9 +17,16 @@
 //! — the regime where the build scan's disk waits, not materialization
 //! contention, bound the join.
 //!
+//! A third, **skew** section sweeps a Zipf(θ) key-domain merge join at
+//! θ ∈ {0, 0.5, 1.0} on the disk-resident 8-worker configuration. At θ = 1
+//! one key dominates the join output; the section records throughput plus
+//! the heavy-hitter counters (keys detected, per-way row balance) so the
+//! CI gate can check both graceful degradation (θ = 1 throughput within
+//! 2× of θ = 0) and that the fan-out machinery actually engaged.
+//!
 //! Usage: `bench_join [output.json]` (default `BENCH_join.json`).
 
-use xprs_bench::{exec_disk, exec_join, host_header_json};
+use xprs_bench::{exec_disk, exec_join, exec_skew, host_header_json};
 use xprs_executor::{DataPath, ExecConfig, MorselMode};
 
 const BUILD_TUPLES: u64 = 200_000;
@@ -30,6 +37,9 @@ const TRIALS: usize = 5;
 const WORKERS: [u32; 4] = [1, 2, 4, 8];
 const DR_TRIALS: usize = 3;
 const DR_SEED: u64 = 0x10D1;
+const SKEW_THETAS: [f64; 3] = [0.0, 0.5, 1.0];
+const SKEW_TRIALS: usize = 3;
+const SKEW_WORKERS: u32 = 8;
 
 struct Row {
     path: DataPath,
@@ -132,6 +142,34 @@ fn main() {
         / dr_rows.iter().find(|r| r.0 == 1).unwrap().2;
     eprintln!("disk-resident join speedup (8w / 1w, stealing): {dr_speedup:.2}x");
 
+    // ---- Skewed key-domain merge join: Zipf θ sweep at 8 workers ----
+    let mut skew_rows = Vec::new();
+    for theta in SKEW_THETAS {
+        let (sk_cat, sk_wl) = exec_skew::catalog(theta);
+        let mut join_walls = Vec::with_capacity(SKEW_TRIALS);
+        let mut last = None;
+        for _ in 0..SKEW_TRIALS {
+            let r = exec_skew::run(&sk_cat, &sk_wl, SKEW_WORKERS);
+            assert!(r.emitted > 0, "vacuous skewed join");
+            join_walls.push(r.join_wall);
+            last = Some(r);
+        }
+        let last = last.unwrap();
+        let join_wall = median(&mut join_walls);
+        let tput = last.emitted as f64 / join_wall;
+        eprintln!(
+            "skew theta={theta:.1} w={SKEW_WORKERS} join={join_wall:.3}s  {tput:>10.1} rows/s  \
+             emitted={}  hot_keys={}  way_max={}  way_mean={}",
+            last.emitted, last.hot_keys, last.way_rows_max, last.way_rows_mean
+        );
+        skew_rows.push((theta, join_wall, tput, last));
+    }
+    let skew_tput = |theta: f64| {
+        skew_rows.iter().find(|r| (r.0 - theta).abs() < 1e-9).unwrap().2
+    };
+    let skew_ratio = skew_tput(1.0) / skew_tput(0.0);
+    eprintln!("skew throughput ratio (theta 1.0 / theta 0.0, 8 workers): {skew_ratio:.3}x");
+
     // Hand-rolled JSON: the workspace builds offline with no serde.
     let mut json = String::new();
     json.push_str("{\n");
@@ -184,6 +222,33 @@ fn main() {
     }
     json.push_str("    ],\n");
     json.push_str(&format!("    \"speedup_8w_over_1w\": {dr_speedup:.3}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"skew\": {\n");
+    json.push_str(&format!("    \"bufpool_pages\": {},\n", exec_skew::BUFPOOL_PAGES));
+    json.push_str(&format!("    \"spill_factor\": {},\n", exec_skew::SPILL_FACTOR));
+    json.push_str(&format!("    \"merge_ways\": {},\n", exec_skew::MERGE_WAYS));
+    json.push_str(&format!("    \"workers\": {SKEW_WORKERS},\n"));
+    json.push_str(&format!("    \"trials_per_config\": {SKEW_TRIALS},\n"));
+    json.push_str("    \"configs\": [\n");
+    for (i, (theta, join_wall, tput, r)) in skew_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"theta\": {theta:.1}, \"join_wall_seconds\": {join_wall:.6}, \
+             \"emitted_rows\": {}, \"rows_per_sec\": {tput:.1}, \"hot_keys\": {}, \
+             \"way_rows_max\": {}, \"way_rows_mean\": {}, \"bufpool_hit_rate\": {:.4}, \
+             \"pinned_at_exit\": {}, \"granted_pages\": {}, \"released_pages\": {}}}{}\n",
+            r.emitted,
+            r.hot_keys,
+            r.way_rows_max,
+            r.way_rows_mean,
+            r.hit_rate,
+            r.pinned_at_exit,
+            r.granted_pages,
+            r.released_pages,
+            if i + 1 == skew_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!("    \"tput_ratio_theta1_vs_theta0\": {skew_ratio:.3}\n"));
     json.push_str("  },\n");
     json.push_str(&format!(
         "  \"speedup_parallel_merge_vs_hash_build_at_8_workers\": {speedup_at_8:.3}\n"

@@ -794,6 +794,146 @@ pub mod exec_memory {
     }
 }
 
+/// Skewed-join scenario: a Zipf(θ) key-domain merge join on the
+/// disk-resident 8-worker configuration, θ the independent variable. At
+/// θ = 0 the keys are uniform and the pool-parallel merge splits the
+/// output evenly; at θ = 1 one key owns ~10% of each side (so ~x% · y% of
+/// the *output*) and only the heavy-hitter machinery — detection in the
+/// master, replicated-build fan-out over `scatter_gather`, hot-key carving
+/// in `split_runs_stats` — keeps the merge from serializing behind it.
+/// The bench reports throughput plus the skew counters (hot keys, per-way
+/// row balance) so CI can prove the fan-out engaged rather than pass
+/// vacuously.
+pub mod exec_skew {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use xprs_disk::StripedLayout;
+    use xprs_executor::{ExecConfig, Executor, QueryRun, RelBinding};
+    use xprs_optimizer::cost::{CostModel, RelInfo};
+    use xprs_optimizer::{decompose, OptimizedQuery, Plan};
+    use xprs_scheduler::MachineConfig;
+    use xprs_storage::Catalog;
+    use xprs_workload::{generate_zipf_join, ZipfJoinSpec, ZipfJoinWorkload};
+
+    use super::FixedParallelism;
+
+    /// Buffer-pool frames (the probe side is [`SPILL_FACTOR`]× this).
+    pub const BUFPOOL_PAGES: u64 = 64;
+    /// Probe heap pages as a multiple of the pool.
+    pub const SPILL_FACTOR: u64 = 4;
+    /// Scaled-time speedup, as in the other disk-resident benches.
+    pub const TIME_SPEEDUP: f64 = 20.0;
+    /// Merge fan-out, pinned explicitly: the auto fan-out collapses to 1
+    /// on a single-core CI host and the skew machinery would never engage.
+    pub const MERGE_WAYS: usize = 8;
+    /// Workload seed.
+    pub const SEED: u64 = 0x5E3D;
+
+    /// One timed skewed-join run.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SkewRun {
+        /// Joined tuples emitted (the quantity that concentrates under
+        /// skew — throughput is emitted rows over the join wall).
+        pub emitted: u64,
+        /// Wall seconds for the whole run.
+        pub wall: f64,
+        /// First fragment start → last fragment finish.
+        pub join_wall: f64,
+        /// Heavy-hitter keys the run detected (registry counter: master
+        /// fan-out plus `split_runs_stats` carving, summed over merges).
+        pub hot_keys: u64,
+        /// Rows in the heaviest way of the root fragment's merge.
+        pub way_rows_max: u64,
+        /// Mean rows per way of the root fragment's merge.
+        pub way_rows_mean: u64,
+        /// Buffer-pool hit fraction.
+        pub hit_rate: f64,
+        /// Pages still pinned at exit (must be 0).
+        pub pinned_at_exit: u64,
+        /// Admission-ledger pages granted over the run.
+        pub granted_pages: u64,
+        /// Admission-ledger pages released (must equal granted).
+        pub released_pages: u64,
+    }
+
+    /// The Zipf(θ) catalog: thin build side, disk-resident probe side.
+    pub fn catalog(theta: f64) -> (Arc<Catalog>, ZipfJoinWorkload) {
+        let spec = ZipfJoinSpec::paper(theta, BUFPOOL_PAGES, SPILL_FACTOR, SEED);
+        let workload = generate_zipf_join(&spec);
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        workload.load_into(&mut cat);
+        (Arc::new(cat), workload)
+    }
+
+    /// `build ⋈ probe` as a key-domain merge join — the plan shape whose
+    /// root materializes both sides and walks the key domain, i.e. the
+    /// shape the master's heavy-hitter detection and replicated fan-out
+    /// serve. Hand-pinned so the optimizer cannot reshape it.
+    fn optimized(cat: &Catalog, workload: &ZipfJoinWorkload) -> OptimizedQuery {
+        let plan = Plan::MergeJoin {
+            left: Box::new(Plan::SeqScan { rel: 0 }),
+            right: Box::new(Plan::SeqScan { rel: 1 }),
+        };
+        let rels: Vec<RelInfo> = [&workload.build, &workload.probe]
+            .iter()
+            .map(|n| {
+                let s = cat.get(n).expect("bench relation").stats();
+                RelInfo {
+                    n_tuples: s.n_tuples as f64,
+                    n_blocks: s.n_blocks as f64,
+                    n_distinct: s.n_distinct_a as f64,
+                    selectivity: 1.0,
+                    has_index: false,
+                    clustered: false,
+                }
+            })
+            .collect();
+        let costed = CostModel::paper_default().cost_plan(&plan, &rels);
+        let fragments = decompose(&plan, &costed, 0);
+        OptimizedQuery { seqcost: costed.cost.total_cost, parcost: 0.0, plan, fragments }
+    }
+
+    /// Run the skewed merge join once with `workers` workers.
+    pub fn run(cat: &Arc<Catalog>, workload: &ZipfJoinWorkload, workers: u32) -> SkewRun {
+        let optimized = optimized(cat, workload);
+        let bindings = vec![
+            RelBinding { name: workload.build.clone(), pred: (i32::MIN, i32::MAX) },
+            RelBinding { name: workload.probe.clone(), pred: (i32::MIN, i32::MAX) },
+        ];
+        let runs = vec![QueryRun { optimized, bindings }];
+        let mut cfg = ExecConfig::scaled(TIME_SPEEDUP).with_obs().with_memory_grants();
+        cfg.bufpool_pages = BUFPOOL_PAGES as usize;
+        cfg.parallel_merge_ways = MERGE_WAYS;
+        let exec = Executor::new(cfg, cat.clone());
+        let mut policy = FixedParallelism::new(MachineConfig::paper_default(), workers);
+        let t0 = Instant::now();
+        let report = exec.run(&runs, &mut policy).expect("skewed join failed");
+        let wall = t0.elapsed().as_secs_f64();
+        let first_start =
+            report.fragment_times.iter().map(|&(_, s, _)| s).fold(f64::INFINITY, f64::min);
+        let last_finish =
+            report.fragment_times.iter().map(|&(_, _, f)| f).fold(0.0f64, f64::max);
+        let root = report.profiles[0]
+            .fragments
+            .iter()
+            .find(|f| f.is_root)
+            .expect("root fragment profiled");
+        SkewRun {
+            emitted: report.results[0].rows.rows.len() as u64,
+            wall,
+            join_wall: last_finish - first_start,
+            hot_keys: report.metrics.as_ref().map_or(0, |m| m.hot_keys.get()),
+            way_rows_max: root.merge.way_rows_max,
+            way_rows_mean: root.merge.way_rows_mean,
+            hit_rate: report.stats.pool.hit_rate(),
+            pinned_at_exit: report.pool_pinned_at_exit,
+            granted_pages: report.mem_granted_pages,
+            released_pages: report.mem_released_pages,
+        }
+    }
+}
+
 /// The host facts every `BENCH_*.json` header records so scaling numbers
 /// are interpretable across machines: the host's available parallelism,
 /// the simulated machine's processor count (= persistent-pool staffing

@@ -25,14 +25,14 @@ use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
 use xprs_scheduler::trace::{emit, RunningSnap, SharedSink, TraceRecord};
 use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
 use xprs_storage::partition::{PagePartition, RangePartition};
-use xprs_storage::runs::{merge_runs, split_runs};
+use xprs_storage::runs::{merge_runs, split_runs_stats};
 use xprs_storage::{Catalog, Tuple, PAGE_SIZE};
 
 use crate::cancel::CancelToken;
 use crate::io::{lock, IoFault, Machine, MachineStats};
 use crate::obs::{ExecMetrics, FragmentProfile, MergeProfile, QueryProfile, RunningInfo, UtilSample};
 use crate::pool::WorkerPool;
-use crate::program::{compile, Driver, Materialized};
+use crate::program::{compile, Driver, FragmentProgram, Materialized, PipelineOp};
 use crate::steal::{StealPartition, MAX_STEAL_UNITS};
 use crate::worker::{run_worker, FragCtx, OutputSink, PartitionState, RelBinding, SpillSpec};
 
@@ -1341,11 +1341,23 @@ impl Executor {
                     rows: rows.len() as u64,
                     ways: 1,
                     parallel: false,
+                    ..MergeProfile::default()
                 };
                 (Materialized::build(rows), profile)
             }
             DataPath::Decontended => {
-                let runs = ctx.out.harvest_runs();
+                let mut runs = ctx.out.harvest_runs();
+                let ways = self.merge_ways();
+                if !ctx.hot_keys.is_empty() {
+                    // The hot keys' output was withheld from the workers;
+                    // compute it now, fanned across the pool with the
+                    // small side replicated, and inject the ordered
+                    // chunks as extra runs. Only these runs carry hot
+                    // keys, so the stable merge concatenates them in
+                    // chunk order — byte-identical to the single-worker
+                    // emission order on every other path.
+                    runs.extend(hot_key_fanout(ctx, backends, ways));
+                }
                 let total: usize = runs.iter().map(Vec::len).sum();
                 if let Some(m) = machine.metrics() {
                     m.merge_runs.observe(runs.len() as u64);
@@ -1353,17 +1365,14 @@ impl Executor {
                         m.merge_run_rows.observe(r.len() as u64);
                     }
                 }
-                let ways = if self.cfg.parallel_merge_ways == 0 {
-                    (self.cfg.machine.n_procs as usize)
-                        .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
-                } else {
-                    self.cfg.parallel_merge_ways
-                };
                 let mut profile = MergeProfile {
                     runs: runs.len() as u64,
                     rows: total as u64,
                     ways: 1,
                     parallel: false,
+                    hot_keys: ctx.hot_keys.len() as u64,
+                    way_rows_max: 0,
+                    way_rows_mean: 0,
                 };
                 if ways <= 1
                     || runs.len() <= 1
@@ -1373,15 +1382,34 @@ impl Executor {
                     // the pool would be pure copy overhead.
                     if let Some(m) = machine.metrics() {
                         m.merge_fanout.observe(1);
+                        if profile.hot_keys > 0 {
+                            m.hot_keys.add(profile.hot_keys);
+                        }
                     }
                     return (Materialized::from_runs(runs), profile);
                 }
                 profile.ways = ways as u64;
                 profile.parallel = true;
+                let (groups, stats) = split_runs_stats(runs, ways);
+                let mut hot = ctx.hot_keys.clone();
+                hot.extend(&stats.hot_keys);
+                hot.sort_unstable();
+                hot.dedup();
+                profile.hot_keys = hot.len() as u64;
+                profile.way_rows_max =
+                    stats.group_rows.iter().copied().max().unwrap_or(0) as u64;
+                profile.way_rows_mean = stats.group_rows.iter().map(|&r| r as u64).sum::<u64>()
+                    / stats.group_rows.len().max(1) as u64;
                 if let Some(m) = machine.metrics() {
                     m.merge_fanout.observe(ways as u64);
+                    if profile.hot_keys > 0 {
+                        m.hot_keys.add(profile.hot_keys);
+                    }
+                    for &r in &stats.group_rows {
+                        m.merge_way_rows.observe(r as u64);
+                    }
                 }
-                let tasks: Vec<MergeTask> = split_runs(runs, ways)
+                let tasks: Vec<MergeTask> = groups
                     .into_iter()
                     .map(|group| Box::new(move || merge_runs(group)) as MergeTask)
                     .collect();
@@ -1392,6 +1420,90 @@ impl Executor {
                 (Materialized::from_sorted_rows(rows), profile)
             }
         }
+    }
+
+    /// The merge fan-out this configuration targets: the explicit
+    /// `parallel_merge_ways`, or (auto) the machine's processor count
+    /// clamped to the host's real parallelism.
+    fn merge_ways(&self) -> usize {
+        if self.cfg.parallel_merge_ways == 0 {
+            (self.cfg.machine.n_procs as usize)
+                .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        } else {
+            self.cfg.parallel_merge_ways
+        }
+    }
+
+    /// Heavy-hitter detection for a key-domain merge fragment, run before
+    /// its workers are staffed (the Afrati et al. playbook: detect, then
+    /// replicate the small side and split the hot key's *output*).
+    ///
+    /// A key's output size is the product of its match counts across the
+    /// materialized inputs; a key is hot when that product strictly
+    /// exceeds an even `1/ways` share of the total output — the same
+    /// threshold `split_runs_stats` applies to sample mass. Keys found hot
+    /// are *withheld from the workers* (see `scan_key`) and computed by
+    /// the master at materialization, fanned across the pool.
+    ///
+    /// Scope: production data path only (the seed path stays bit-for-bit
+    /// the seed), key-domain drivers whose ops are all `MergeWith` (every
+    /// side materialized, so the product is known up front), outputs past
+    /// `parallel_merge_min_rows`, and fan-outs worth more than one way.
+    fn hot_join_keys(
+        &self,
+        program: &FragmentProgram,
+        inputs: &HashMap<usize, Arc<Materialized>>,
+        units: &UnitSpace,
+    ) -> Vec<i32> {
+        if self.cfg.data_path != DataPath::Decontended
+            || program.driver != Driver::KeyDomain
+            || program.ops.is_empty()
+            || !program.ops.iter().all(|op| matches!(op, PipelineOp::MergeWith { .. }))
+        {
+            return Vec::new();
+        }
+        let ways = self.merge_ways() as u64;
+        let UnitSpace::Keys { lo, hi } = *units else { return Vec::new() };
+        if ways <= 1 || lo > hi {
+            return Vec::new();
+        }
+        let deps: Vec<&Arc<Materialized>> = program
+            .ops
+            .iter()
+            .map(|op| &inputs[&op.dep().expect("MergeWith always has a dep")])
+            .collect();
+        // Walk the first input's distinct keys (rows are key-sorted on
+        // both index kinds) and take the match-count product per key.
+        let rows = &deps[0].rows;
+        let mut products: Vec<(i32, u64)> = Vec::new();
+        let mut total = 0u64;
+        let mut i = 0usize;
+        while i < rows.len() {
+            let k = rows[i].0;
+            let mut j = i + 1;
+            while j < rows.len() && rows[j].0 == k {
+                j += 1;
+            }
+            if (k as i64) >= lo && (k as i64) <= hi {
+                let mut prod = (j - i) as u64;
+                for d in &deps[1..] {
+                    prod = prod.saturating_mul(d.matches(k).count() as u64);
+                    if prod == 0 {
+                        break;
+                    }
+                }
+                if prod > 0 {
+                    total = total.saturating_add(prod);
+                    products.push((k, prod));
+                }
+            }
+            i = j;
+        }
+        if total < self.cfg.parallel_merge_min_rows.max(1) as u64 {
+            return Vec::new();
+        }
+        products.retain(|&(_, p)| p > 1 && p.saturating_mul(ways) > total);
+        products.into_iter().map(|(k, _)| k).collect()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1540,6 +1652,10 @@ impl Executor {
             }
         };
         let total = units.total();
+        // Heavy hitters of a key-domain merge are decided before staffing:
+        // the workers are born knowing which keys to skip, and the master
+        // owes their output at materialization.
+        let hot_keys = self.hot_join_keys(&frags[gid].program, &inputs, &units);
         let (partition, total_units) = match self.cfg.effective_morsel_mode() {
             // The packed claim word addresses 31 bits of units; a larger
             // fragment (never seen in practice) falls back to static shares.
@@ -1619,6 +1735,7 @@ impl Executor {
             out_batch_tuples: self.cfg.effective_out_batch(),
             cpu_batch_seconds: self.cfg.effective_cpu_batch(),
             spill,
+            hot_keys,
         });
         frags[gid].started_at = t0.elapsed().as_secs_f64();
         frags[gid].status = FragStatus::Running(ctx.clone());
@@ -2314,6 +2431,69 @@ fn range_partition(lo: i64, hi: i64, x: u32) -> (PartitionState, u64) {
 
 fn to_workers(x: f64, n_procs: u32) -> u32 {
     (x.round() as i64).clamp(1, n_procs as i64) as u32
+}
+
+/// Compute the withheld heavy-hitter output of a key-domain merge fragment
+/// on the worker pool.
+///
+/// For each hot key the *outer* (first `MergeWith`) side's matching rows
+/// split into up to `ways` contiguous chunks; every chunk becomes one
+/// scatter-gather task that crosses its rows with the replicated inner
+/// sides (shared `Arc`s — replication in shared memory, no copy). A task
+/// emits rows in exactly the worker pipeline's nesting order (outer
+/// position, then inner positions), and chunks are returned in (key, chunk)
+/// order, so concatenating them reproduces byte-for-byte what the single
+/// worker owning the key's unit would have emitted.
+fn hot_key_fanout(
+    ctx: &FragCtx,
+    backends: &Backends<'_>,
+    ways: usize,
+) -> Vec<Vec<(i32, Tuple)>> {
+    let deps: Vec<Arc<Materialized>> = ctx
+        .program
+        .ops
+        .iter()
+        .map(|op| ctx.inputs[&op.dep().expect("hot fan-out over MergeWith ops")].clone())
+        .collect();
+    let (outer, inners) = deps.split_first().expect("hot fan-out needs at least one dep");
+    let mut tasks: Vec<MergeTask> = Vec::new();
+    for &key in &ctx.hot_keys {
+        let rows: Vec<Tuple> = outer.matches(key).cloned().collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let chunk_rows = rows.len().div_ceil(ways.max(1));
+        let mut rows = rows.into_iter().peekable();
+        while rows.peek().is_some() {
+            let chunk: Vec<Tuple> = rows.by_ref().take(chunk_rows).collect();
+            let inners = inners.to_vec();
+            tasks.push(Box::new(move || {
+                let mut out = Vec::new();
+                for t in &chunk {
+                    hot_cross(key, Tuple::from_values(vec![]).join(t), &inners, &mut out);
+                }
+                out
+            }) as MergeTask);
+        }
+    }
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    backends.pool.scatter_gather(tasks)
+}
+
+/// Inner loops of the hot-key cross product, mirroring the worker
+/// pipeline's `MergeWith` recursion: one nested loop per remaining input,
+/// joining in input order, emitting at the leaves.
+fn hot_cross(key: i32, row: Tuple, inners: &[Arc<Materialized>], out: &mut Vec<(i32, Tuple)>) {
+    match inners.split_first() {
+        None => out.push((key, row)),
+        Some((next, rest)) => {
+            for m in next.matches(key) {
+                hot_cross(key, row.join(m), rest, out);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

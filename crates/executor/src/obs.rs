@@ -56,6 +56,15 @@ pub struct ExecMetrics {
     pub merge_runs: Histogram,
     /// Rows per sorted worker run (the shape `split_runs` has to balance).
     pub merge_run_rows: Histogram,
+    /// Heavy-hitter keys detected per run: keys carved across merge ways by
+    /// `split_runs_stats` plus keys fanned out by the master's KeyDomain
+    /// replication path. Zero on benign key distributions — the skew bench
+    /// gates on this being non-zero at Zipf θ = 1.
+    pub hot_keys: Counter,
+    /// Rows each way of a pool-parallel merge received (the post-split
+    /// balance `split_runs_stats` achieved); max/mean of the snapshot are
+    /// the way-imbalance figures the skew bench reports.
+    pub merge_way_rows: Histogram,
     /// Morsels taken from a victim's deque instead of the worker's own
     /// (the work-stealing path earning its keep). Exact: accumulated in
     /// worker-local integers, flushed to this counter at worker exit.
@@ -98,6 +107,13 @@ pub struct MergeProfile {
     pub ways: u64,
     /// Whether the merge was farmed to the worker pool.
     pub parallel: bool,
+    /// Heavy-hitter keys detected in this materialization (carved across
+    /// merge ways and/or fanned out by the KeyDomain replication path).
+    pub hot_keys: u64,
+    /// Rows in the heaviest merge way (0 when the merge was serial).
+    pub way_rows_max: u64,
+    /// Mean rows per merge way, rounded down (0 when serial).
+    pub way_rows_mean: u64,
 }
 
 /// What one fragment did, captured at its completion.
@@ -324,8 +340,9 @@ fn class_stats_json(c: &ClassStats) -> String {
 
 fn merge_json(m: &MergeProfile) -> String {
     format!(
-        "{{\"runs\":{},\"rows\":{},\"ways\":{},\"parallel\":{}}}",
-        m.runs, m.rows, m.ways, m.parallel
+        "{{\"runs\":{},\"rows\":{},\"ways\":{},\"parallel\":{},\"hot_keys\":{},\
+         \"way_rows_max\":{},\"way_rows_mean\":{}}}",
+        m.runs, m.rows, m.ways, m.parallel, m.hot_keys, m.way_rows_max, m.way_rows_mean
     )
 }
 
@@ -439,10 +456,13 @@ impl ExecReport {
                     m.unpin_anomalies.get()
                 ),
                 format!(
-                    "{{\"fanout\":{},\"runs\":{},\"run_rows\":{}}}",
+                    "{{\"fanout\":{},\"runs\":{},\"run_rows\":{},\"hot_keys\":{},\
+                     \"way_rows\":{}}}",
                     m.merge_fanout.snapshot().to_json(),
                     m.merge_runs.snapshot().to_json(),
-                    m.merge_run_rows.snapshot().to_json()
+                    m.merge_run_rows.snapshot().to_json(),
+                    m.hot_keys.get(),
+                    m.merge_way_rows.snapshot().to_json()
                 ),
                 format!(
                     "{{\"steals\":{},\"steal_fails\":{},\"morsel_ns\":{},\"steal_idle_ns\":{}}}",

@@ -247,6 +247,13 @@ pub(crate) struct FragCtx {
     /// output, the spill protocol bounds each worker's buffered rows
     /// (batched path only; `None` ⇒ unbounded in-memory buffering).
     pub spill: Option<SpillSpec>,
+    /// Heavy-hitter join keys (sorted ascending) a key-domain walk must
+    /// *skip*: their output would serialize on whichever worker owns the
+    /// key's unit, so the master computes it instead — fanned across the
+    /// worker pool at materialization, with the small side replicated (see
+    /// the master's hot-key path). Empty on every other fragment shape and
+    /// on the seed data path.
+    pub hot_keys: Vec<i32>,
 }
 
 impl FragCtx {
@@ -714,6 +721,14 @@ fn scan_key(ctx: &FragCtx, catalog: &Catalog, key: i64, ws: &mut WorkerState<'_>
         }
         Driver::KeyDomain => {
             ws.charge_cpu(ctx, ctx.cpu_tuple);
+            // Heavy hitters are the master's job (replicated, pool-fanned
+            // at materialization); emitting one here would pin the key's
+            // whole output on this worker. The unit still completes
+            // normally, so heartbeats, stealing, and cancellation see
+            // nothing unusual.
+            if ctx.hot_keys.binary_search(&key).is_ok() {
+                return;
+            }
             pipeline(ctx, catalog, key, Tuple::from_values(vec![]), 0, ws);
         }
         Driver::PageScan { .. } => unreachable!("key unit on a page driver"),

@@ -81,37 +81,109 @@ fn merge_two<T>(a: Vec<(i32, T)>, b: Vec<(i32, T)>) -> Vec<(i32, T)> {
     }
 }
 
-/// Split key-sorted runs into at most `ways` groups covering disjoint,
-/// ascending key intervals, so each group can be merged independently (and
-/// in parallel) and the merged groups concatenated in order.
+/// What [`split_runs_stats`] did to the key space: which heavy-hitter keys
+/// were carved across groups, and how many rows each emitted group holds
+/// (in group order; trivially empty interval groups are dropped).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SplitStats {
+    /// Keys detected as heavy hitters and carved into run-sub-range chunks,
+    /// in ascending key order.
+    pub hot_keys: Vec<i32>,
+    /// Rows per emitted group, aligned with the returned groups.
+    pub group_rows: Vec<usize>,
+}
+
+/// Split key-sorted runs into independently mergeable groups covering
+/// non-decreasing key ranges, so each group can be merged concurrently and
+/// the merged groups concatenated in order. See [`split_runs_stats`] for
+/// the boundary-selection and heavy-hitter rules; this wrapper discards the
+/// statistics.
+pub fn split_runs<T>(runs: Vec<Vec<(i32, T)>>, ways: usize) -> Vec<RunGroup<T>> {
+    split_runs_stats(runs, ways).0
+}
+
+/// One independently mergeable group of key-sorted runs, as produced by
+/// [`split_runs`] / [`split_runs_stats`].
+pub type RunGroup<T> = Vec<Vec<(i32, T)>>;
+
+/// Split key-sorted runs into independently mergeable groups, returning the
+/// groups plus [`SplitStats`].
 ///
-/// Boundaries are chosen from a key sample at the group-size quantiles and
-/// applied with binary search (`partition_point`), so a key group — every
-/// row bearing one key — always lands wholly in one group and the
-/// concatenation of the groups' [`merge_runs`] outputs equals
-/// `merge_runs` of the original runs, tie-breaks included (each group keeps
-/// every run, possibly empty, in the original run order). Rows are moved
-/// via `split_off`, never cloned. Heavily skewed key distributions may
-/// yield fewer (even one) non-trivial groups; callers must not assume
-/// balance.
-pub fn split_runs<T>(runs: Vec<Vec<(i32, T)>>, ways: usize) -> Vec<Vec<Vec<(i32, T)>>> {
+/// **Boundary selection** is a weighted key sample: sample positions are
+/// spread evenly over the *concatenation* of the runs, so a run contributes
+/// samples in proportion to its length and every sample stands for roughly
+/// `total / samples` rows — quantiles of the sample approximate quantiles
+/// of the merged output regardless of how unevenly the rows are spread
+/// across runs. Boundaries are applied with binary search
+/// (`partition_point`) and a strict `<` cut, so an interval group keeps
+/// every run (possibly empty) in the original run order.
+///
+/// **Heavy hitters**: any key holding strictly more than an even `1/ways`
+/// share of the sample mass gets hard cut points at `k` and `k + 1`,
+/// isolating it in a single-key group. A single-key group whose *actual*
+/// row count exceeds the even share is then carved into
+/// `⌊rows · ways / total⌋` (clamped to `[1, ways]`) run-sub-range chunks:
+/// the group's rows are flattened in (run index, position) order — exactly
+/// the order the stable merge would emit them, since every row bears the
+/// same key — and cut into near-equal consecutive chunks, each emitted as
+/// its own one-run group. A hot key therefore no longer serializes the
+/// merge, and because a one-run group *is* its own merge, the concatenation
+/// of the groups' [`merge_runs`] outputs still equals `merge_runs` of the
+/// original runs byte for byte, tie-breaks included.
+///
+/// Consequences for callers: consecutive groups cover non-decreasing key
+/// ranges but may *share* one (hot) key at the seam; the group count can
+/// exceed `ways` when hot keys are carved; trivially empty groups are
+/// dropped. Rows are moved via `split_off`, never cloned.
+pub fn split_runs_stats<T>(
+    runs: Vec<Vec<(i32, T)>>,
+    ways: usize,
+) -> (Vec<RunGroup<T>>, SplitStats) {
     let total: usize = runs.iter().map(Vec::len).sum();
     if ways <= 1 || total == 0 {
-        return vec![runs];
+        let stats = SplitStats { hot_keys: Vec::new(), group_rows: vec![total] };
+        return (vec![runs], stats);
     }
-    // Sample keys at regular positions of every run; quantiles of the
-    // sample approximate quantiles of the merged output well enough for
-    // load balancing (exactness is not required for correctness).
-    let mut samples: Vec<i32> = Vec::new();
-    for r in &runs {
-        let take = (ways * 8).min(r.len());
-        for j in 0..take {
-            samples.push(r[j * r.len() / take].0);
+    // Weighted sample: probe positions evenly spaced over the concatenated
+    // rows. Positions ascend, so one cumulative cursor walks the runs once.
+    let n_samples = (ways * 16).clamp(1, total);
+    let mut samples: Vec<i32> = Vec::with_capacity(n_samples);
+    {
+        let mut run_idx = 0usize;
+        let mut cum = 0usize; // rows preceding runs[run_idx]
+        for j in 0..n_samples {
+            let pos = j * total / n_samples;
+            while pos >= cum + runs[run_idx].len() {
+                cum += runs[run_idx].len();
+                run_idx += 1;
+            }
+            samples.push(runs[run_idx][pos - cum].0);
         }
     }
     samples.sort_unstable();
+    // Heavy hitters by sample mass: strictly more than an even 1/ways share.
+    let mut hot_candidates: Vec<i32> = Vec::new();
+    let mut i = 0;
+    while i < samples.len() {
+        let mut j = i + 1;
+        while j < samples.len() && samples[j] == samples[i] {
+            j += 1;
+        }
+        if (j - i) * ways > samples.len() {
+            hot_candidates.push(samples[i]);
+        }
+        i = j;
+    }
     let mut bounds: Vec<i32> =
         (1..ways).map(|i| samples[i * samples.len() / ways]).collect();
+    // Hard cuts isolate each hot candidate in its own single-key group.
+    for &h in &hot_candidates {
+        bounds.push(h);
+        if let Some(above) = h.checked_add(1) {
+            bounds.push(above);
+        }
+    }
+    bounds.sort_unstable();
     bounds.dedup();
 
     // Split from the highest bound down: `split_off` copies only the tail
@@ -130,7 +202,46 @@ pub fn split_runs<T>(runs: Vec<Vec<(i32, T)>>, ways: usize) -> Vec<Vec<Vec<(i32,
     }
     groups_rev.push(rest);
     groups_rev.reverse();
-    groups_rev
+
+    // Carve pass: a single-key group heavier than the even share splits
+    // into run-sub-range chunks (see the function docs for why the
+    // concatenation stays byte-identical).
+    let mut out: Vec<Vec<Vec<(i32, T)>>> = Vec::with_capacity(groups_rev.len());
+    let mut stats = SplitStats::default();
+    for group in groups_rev {
+        let rows: usize = group.iter().map(Vec::len).sum();
+        if rows == 0 {
+            continue;
+        }
+        let lo = group.iter().filter_map(|r| r.first()).map(|&(k, _)| k).min();
+        let hi = group.iter().filter_map(|r| r.last()).map(|&(k, _)| k).max();
+        let parts = (rows * ways / total).min(ways).min(rows);
+        if lo == hi && parts >= 2 {
+            stats.hot_keys.push(lo.expect("non-empty group has a first key"));
+            let mut flat = Vec::with_capacity(rows);
+            for run in group {
+                flat.extend(run);
+            }
+            let (base, extra) = (rows / parts, rows % parts);
+            let mut it = flat.into_iter();
+            for c in 0..parts {
+                let chunk: Vec<(i32, T)> =
+                    it.by_ref().take(base + usize::from(c < extra)).collect();
+                stats.group_rows.push(chunk.len());
+                out.push(vec![chunk]);
+            }
+        } else {
+            stats.group_rows.push(rows);
+            out.push(group);
+        }
+    }
+    if out.is_empty() {
+        // total > 0 guarantees at least one non-empty group; keep the
+        // invariant explicit for the degenerate ways where it is not.
+        stats.group_rows.push(0);
+        out.push(Vec::new());
+    }
+    (out, stats)
 }
 
 /// A CSR-style (compressed sparse row) index over key-sorted rows: sorted
@@ -264,14 +375,19 @@ mod tests {
         };
         let want = merge_runs(mk(3));
         for ways in [1usize, 2, 3, 4, 8, 32] {
-            let groups = split_runs(mk(3), ways);
-            assert!(groups.len() <= ways.max(1));
+            let (groups, stats) = split_runs_stats(mk(3), ways);
+            assert_eq!(
+                stats.group_rows.iter().sum::<usize>(),
+                want.len(),
+                "stats must account for every row (ways {ways})"
+            );
             let mut got = Vec::new();
             let mut last_hi: Option<i32> = None;
             for g in groups {
                 let m = merge_runs(g);
                 if let (Some(hi), Some(&(lo, _))) = (last_hi, m.first()) {
-                    assert!(lo > hi, "groups must cover disjoint ascending key ranges");
+                    // Non-decreasing: a carved hot key may straddle a seam.
+                    assert!(lo >= hi, "groups must cover non-decreasing key ranges");
                 }
                 last_hi = m.last().map(|&(k, _)| k).or(last_hi);
                 got.extend(m);
@@ -281,14 +397,99 @@ mod tests {
     }
 
     #[test]
-    fn split_keeps_key_groups_whole() {
-        // All rows share one key: every split must put them in one group.
+    fn degenerate_all_equal_keys_fan_out_across_ways() {
+        // All rows share one key. The seed serialized this case (one
+        // non-trivial group = one merge worker); post heavy-hitter carving
+        // the key must fan out across `ways` run-sub-range chunks whose
+        // concatenation is byte-identical to merging the original runs.
         let runs = vec![vec![(7, 0), (7, 1)], vec![(7, 2)], vec![(7, 3), (7, 4)]];
-        let groups = split_runs(runs, 4);
-        let sizes: Vec<usize> =
-            groups.iter().map(|g| g.iter().map(Vec::len).sum()).collect();
-        assert_eq!(sizes.iter().sum::<usize>(), 5);
-        assert_eq!(sizes.iter().filter(|&&s| s > 0).count(), 1);
+        let want = merge_runs(runs.clone());
+        let ways = 4;
+        let (groups, stats) = split_runs_stats(runs, ways);
+        assert_eq!(stats.hot_keys, vec![7], "the lone key must be detected hot");
+        assert_eq!(groups.len(), ways, "hot key must fan out across `ways` groups");
+        assert!(groups.iter().all(|g| g.iter().map(Vec::len).sum::<usize>() > 0));
+        let got: Vec<(i32, i32)> = groups.into_iter().flat_map(merge_runs).collect();
+        assert_eq!(got, want, "carved output must be byte-identical");
+    }
+
+    #[test]
+    fn weighted_sampling_balances_one_long_run_against_many_short() {
+        // One long uniform run plus many 4-row runs clustered in a narrow
+        // key band. Per-run equal sampling (the seed: up to `ways * 8`
+        // samples from every run regardless of length) let the short runs
+        // dominate the sample, drove most boundaries into their narrow
+        // band, and left one group with nearly all of the long run.
+        // Length-weighted sampling must keep every way within 2x of ideal.
+        let long: Vec<(i32, usize)> = (0..8192).map(|i| (i as i32, i)).collect();
+        let mut runs = vec![long];
+        for s in 0..64usize {
+            let key = (s % 8) as i32;
+            runs.push((0..4).map(|j| (key, 10_000 + s * 4 + j)).collect());
+        }
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let ways = 8;
+        let ideal = total / ways;
+        let want = merge_runs(runs.clone());
+        let (groups, stats) = split_runs_stats(runs, ways);
+        for (g, &rows) in groups.iter().zip(&stats.group_rows) {
+            assert_eq!(g.iter().map(Vec::len).sum::<usize>(), rows);
+            assert!(
+                rows <= 2 * ideal,
+                "way holds {rows} rows, over 2x the ideal {ideal}"
+            );
+        }
+        assert!(
+            stats.group_rows.len() >= ways / 2,
+            "expected a real fan-out, got {} groups",
+            stats.group_rows.len()
+        );
+        let got: Vec<(i32, usize)> = groups.into_iter().flat_map(merge_runs).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hot_key_is_carved_into_balanced_run_subranges() {
+        // Four runs, each: 50 rows of hot key 5, then 50 distinct tail keys.
+        // Key 5 holds 50% of the mass — far over the 1/ways sample share —
+        // so it must be detected, isolated, and carved into ~50%/25% = 2
+        // chunks, while the output stays byte-identical.
+        let runs: Vec<Vec<(i32, usize)>> = (0..4usize)
+            .map(|r| {
+                let mut run: Vec<(i32, usize)> =
+                    (0..50).map(|j| (5, r * 100 + j)).collect();
+                run.extend((0..50).map(|j| (10 + j as i32, r * 100 + 50 + j)));
+                run
+            })
+            .collect();
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let ways = 4;
+        let want = merge_runs(runs.clone());
+        let (groups, stats) = split_runs_stats(runs, ways);
+        assert_eq!(stats.hot_keys, vec![5]);
+        let hot_groups = groups
+            .iter()
+            .filter(|g| g.iter().any(|run| run.iter().any(|&(k, _)| k == 5)))
+            .count();
+        assert!(hot_groups >= 2, "hot key must span at least two groups");
+        let ideal = total / ways;
+        assert!(stats.group_rows.iter().all(|&r| r <= 2 * ideal));
+        let got: Vec<(i32, usize)> = groups.into_iter().flat_map(merge_runs).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn split_stats_degenerate_ways() {
+        let runs = vec![vec![(1, 0usize), (2, 1)], vec![(1, 2)]];
+        for ways in [0usize, 1] {
+            let (groups, stats) = split_runs_stats(runs.clone(), ways);
+            assert_eq!(groups.len(), 1);
+            assert!(stats.hot_keys.is_empty());
+            assert_eq!(stats.group_rows, vec![3]);
+        }
+        let (groups, stats) = split_runs_stats(Vec::<Vec<(i32, u8)>>::new(), 4);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(stats.group_rows, vec![0]);
     }
 
     #[test]

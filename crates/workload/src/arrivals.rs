@@ -74,13 +74,13 @@ pub struct Arrival {
 
 /// Multiplicative-congruential step (Steele & Vigna's LCG constants for a
 /// 64-bit state); the top bits feed the uniform draw.
-fn lcg_next(state: &mut u64) -> u64 {
+pub(crate) fn lcg_next(state: &mut u64) -> u64 {
     *state = state.wrapping_mul(0xd120_2e4f_a0d8_1645).wrapping_add(0x2545_f491_4f6c_dd1d);
     *state
 }
 
 /// Uniform in `[0, 1)` from the high 53 bits.
-fn uniform(state: &mut u64) -> f64 {
+pub(crate) fn uniform(state: &mut u64) -> f64 {
     (lcg_next(state) >> 11) as f64 / (1u64 << 53) as f64
 }
 

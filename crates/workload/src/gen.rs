@@ -362,7 +362,7 @@ fn fat_page_blen() -> usize {
 
 /// Dense-page tuple count for `blen`: the most thin tuples a page holds
 /// (so the page is full and the next tuple starts a new one).
-fn dense_tuples_per_page(blen: usize) -> u64 {
+pub(crate) fn dense_tuples_per_page(blen: usize) -> u64 {
     use xprs_storage::{PAGE_HEADER, PAGE_SIZE};
     ((PAGE_SIZE - PAGE_HEADER) / (crate::calibrate::ROW_OVERHEAD + blen)) as u64
 }

@@ -21,6 +21,7 @@
 pub mod arrivals;
 pub mod calibrate;
 pub mod gen;
+pub mod skew;
 pub mod spec;
 
 pub use arrivals::{generate_arrivals, Arrival, ArrivalSpec, QueryClass, TenantLoad};
@@ -30,4 +31,5 @@ pub use gen::{
     DiskResidentWorkload, GeneratedTask, GeneratedWorkload, OversizedBuildPair,
     OversizedBuildSpec, OversizedBuildWorkload, WorkloadGenerator,
 };
+pub use skew::{generate_zipf_join, zipf_keys, ZipfJoinSpec, ZipfJoinWorkload};
 pub use spec::{LengthModel, WorkloadConfig, WorkloadKind};

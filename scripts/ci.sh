@@ -125,6 +125,52 @@ if dr <= 1.0:
 print(f"bench_join OK: speedup at 8 workers = {speedup}x, disk-resident 8w/1w = {dr}x")
 EOF
 
+# Skew leg: the Zipf theta-sweep of the key-domain merge join must degrade
+# gracefully (theta=1 throughput at least half of theta=0 at 8 workers)
+# AND the heavy-hitter machinery must provably engage at theta=1 — hot-key
+# counters non-zero, ways actually carved — so the gate cannot pass
+# vacuously on a config where detection never ran. Ledgers must balance
+# and no page may stay pinned. Malformed JSON fails the leg.
+echo "==> skew gate (skew section of BENCH_join.json)"
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("BENCH_join.json") as f:
+        r = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"BENCH_join.json unreadable or malformed: {e}")
+try:
+    sk = r["skew"]
+    ratio = sk["tput_ratio_theta1_vs_theta0"]
+    configs = {c["theta"]: c for c in sk["configs"]}
+except KeyError as e:
+    sys.exit(f"BENCH_join.json missing skew field: {e}")
+for want in (0.0, 0.5, 1.0):
+    if want not in configs:
+        sys.exit(f"skew sweep missing theta={want}: {sorted(configs)}")
+if sk["workers"] != 8 or sk["merge_ways"] < 2:
+    sys.exit(f"skew sweep must run 8 workers with a real merge fan-out: {sk}")
+for theta, c in configs.items():
+    if c["emitted_rows"] <= 0 or c["rows_per_sec"] <= 0:
+        sys.exit(f"vacuous skew config at theta={theta}: {c}")
+    if c["pinned_at_exit"] != 0:
+        sys.exit(f"theta={theta}: {c['pinned_at_exit']} pages pinned at exit")
+    if c["granted_pages"] != c["released_pages"]:
+        sys.exit(f"theta={theta}: grant ledger out of balance: {c}")
+hot = configs[1.0]
+if hot["hot_keys"] == 0:
+    sys.exit("theta=1.0 detected no heavy hitter: the fan-out never engaged")
+if hot["way_rows_max"] == 0 or hot["way_rows_mean"] == 0:
+    sys.exit("theta=1.0 merge recorded no way sizes: parallel merge never ran")
+if hot["way_rows_max"] >= hot["emitted_rows"]:
+    sys.exit(f"theta=1.0: one way swallowed the whole output: {hot}")
+if ratio < 0.5:
+    sys.exit(f"skew collapse: theta=1 throughput {ratio} < 0.5x theta=0")
+print(f"skew OK: theta1/theta0 throughput ratio = {ratio}x, "
+      f"{hot['hot_keys']} hot keys at theta=1, "
+      f"way balance max/mean = {hot['way_rows_max']}/{hot['way_rows_mean']}")
+EOF
+
 echo "==> bench_obs (writes BENCH_obs.json + metrics.json)"
 ./target/release/bench_obs BENCH_obs.json metrics.json
 # The metrics dump must be well-formed and internally consistent (pool
