@@ -24,10 +24,21 @@
 //! grant ledger balances, no page stays pinned, and the builds actually
 //! queued and spilled.
 //!
+//! A fourth, **predictive** section is the declared-vs-predicted A/B:
+//! identical concurrent joins whose declared profiles are seeded wrong by
+//! 2–8×, run cold (trusting declarations) and with a shared online
+//! predictor warmed across repetitions. Its gates: the warm predicted mode
+//! beats declared mode on wall time, footprint overruns decrease as the
+//! model warms, the grant ledger balances with zero pins, and the two
+//! modes' final-rep schedules provably differ.
+//!
 //! Usage: `bench_executor [output.json]` (default `BENCH_executor.json`).
 
-use xprs_bench::{exec_disk, exec_memory, exec_scan, host_header_json};
+use std::sync::Arc;
+
+use xprs_bench::{exec_disk, exec_memory, exec_predict, exec_scan, host_header_json};
 use xprs_executor::{DataPath, ExecConfig, MorselMode};
+use xprs_scheduler::predict::Predictor;
 
 const RELATION_TUPLES: u64 = 8_192;
 const QUERIES: usize = 48;
@@ -38,6 +49,11 @@ const DR_SEED: u64 = 0xD15C;
 const MEM_TRIALS: usize = 3;
 const MEM_SEED: u64 = 0x4EA7;
 const MEM_WORKERS: u32 = 4;
+const PRED_SEED: u64 = 0x9D1C;
+/// Repetitions per mode; the first [`PRED_WARMUP`] predicted reps run on
+/// the cold model and are excluded from the headline wall comparison.
+const PRED_REPS: usize = 6;
+const PRED_WARMUP: usize = 2;
 
 struct Row {
     path: DataPath,
@@ -205,6 +221,56 @@ fn main() {
         mem_grant.2.grant_waits, mem_grant.2.spill_rows
     );
 
+    // ---- Predictive scheduling: corrected profiles must beat wrong ones ----
+    let pred_cat = exec_predict::catalog(PRED_SEED);
+    let pred_runs = exec_predict::wrong_runs(&pred_cat, PRED_SEED);
+    let mut declared_reps = Vec::with_capacity(PRED_REPS);
+    for _ in 0..PRED_REPS {
+        let r = exec_predict::run(&pred_cat, &pred_runs, None);
+        assert!(r.emitted > 0, "vacuous predictive-A/B join");
+        assert_eq!(r.granted_pages, r.released_pages, "declared-mode grant leak");
+        assert_eq!(r.pinned_at_exit, 0, "declared-mode pin leak");
+        declared_reps.push(r);
+    }
+    let predictor = Arc::new(Predictor::new(exec_predict::PAGE_BYTES));
+    let mut predicted_reps = Vec::with_capacity(PRED_REPS);
+    for _ in 0..PRED_REPS {
+        let r = exec_predict::run(&pred_cat, &pred_runs, Some(&predictor));
+        assert!(r.emitted > 0, "vacuous predictive-A/B join");
+        assert_eq!(r.granted_pages, r.released_pages, "predicted-mode grant leak");
+        assert_eq!(r.pinned_at_exit, 0, "predicted-mode pin leak");
+        predicted_reps.push(r);
+    }
+    assert_eq!(
+        declared_reps[0].emitted, predicted_reps[0].emitted,
+        "prediction changed a join answer"
+    );
+    let mut declared_walls: Vec<f64> = declared_reps.iter().map(|r| r.wall).collect();
+    let mut warm_walls: Vec<f64> =
+        predicted_reps[PRED_WARMUP..].iter().map(|r| r.wall).collect();
+    let declared_wall = median(&mut declared_walls);
+    let predicted_wall = median(&mut warm_walls);
+    let pred_speedup = declared_wall / predicted_wall;
+    let predicted_beats_declared = predicted_wall < declared_wall;
+    let overruns_first = predicted_reps[0].footprint_overruns;
+    let overruns_last = predicted_reps[PRED_REPS - 1].footprint_overruns;
+    let decisions_differ = declared_reps[PRED_REPS - 1].signature
+        != predicted_reps[PRED_REPS - 1].signature;
+    for (mode, reps) in [("declared", &declared_reps), ("predicted", &predicted_reps)] {
+        for (i, r) in reps.iter().enumerate() {
+            eprintln!(
+                "predictive {mode:<9} rep={i} wall={:.4}s overruns={} waits={} \
+                 predictions={}",
+                r.wall, r.footprint_overruns, r.grant_waits, r.predictions
+            );
+        }
+    }
+    eprintln!(
+        "predictive A/B: declared={declared_wall:.4}s predicted={predicted_wall:.4}s \
+         speedup={pred_speedup:.2}x decisions_differ={decisions_differ} \
+         overruns {overruns_first}->{overruns_last}"
+    );
+
     // Hand-rolled JSON: the workspace builds offline with no serde.
     let dr_json = {
         let mut j = String::new();
@@ -292,6 +358,50 @@ fn main() {
         j
     };
 
+    let pred_json = {
+        let mut j = String::new();
+        j.push_str("  \"predictive\": {\n");
+        j.push_str(&format!("    \"bufpool_pages\": {},\n", exec_predict::BUFPOOL_PAGES));
+        j.push_str(&format!("    \"n_queries\": {},\n", exec_predict::N_QUERIES));
+        j.push_str(&format!("    \"time_speedup\": {},\n", exec_predict::TIME_SPEEDUP));
+        j.push_str(&format!("    \"reps_per_mode\": {PRED_REPS},\n"));
+        j.push_str(&format!("    \"warmup_reps\": {PRED_WARMUP},\n"));
+        j.push_str("    \"reps\": [\n");
+        let all: Vec<(&str, &exec_predict::PredictRun)> = declared_reps
+            .iter()
+            .map(|r| ("declared", r))
+            .chain(predicted_reps.iter().map(|r| ("predicted", r)))
+            .collect();
+        for (i, (mode, r)) in all.iter().enumerate() {
+            j.push_str(&format!(
+                "      {{\"mode\": \"{}\", \"wall_seconds\": {:.6}, \"emitted\": {}, \
+                 \"footprint_overruns\": {}, \"granted_pages\": {}, \
+                 \"released_pages\": {}, \"grant_waits\": {}, \"pinned_at_exit\": {}, \
+                 \"predictions\": {}}}{}\n",
+                mode,
+                r.wall,
+                r.emitted,
+                r.footprint_overruns,
+                r.granted_pages,
+                r.released_pages,
+                r.grant_waits,
+                r.pinned_at_exit,
+                r.predictions,
+                if i + 1 == all.len() { "" } else { "," }
+            ));
+        }
+        j.push_str("    ],\n");
+        j.push_str(&format!("    \"declared_wall_seconds\": {declared_wall:.6},\n"));
+        j.push_str(&format!("    \"predicted_wall_seconds\": {predicted_wall:.6},\n"));
+        j.push_str(&format!("    \"speedup_predicted_over_declared\": {pred_speedup:.3},\n"));
+        j.push_str(&format!("    \"predicted_beats_declared\": {predicted_beats_declared},\n"));
+        j.push_str(&format!("    \"overruns_first_rep\": {overruns_first},\n"));
+        j.push_str(&format!("    \"overruns_last_rep\": {overruns_last},\n"));
+        j.push_str(&format!("    \"decisions_differ\": {decisions_differ}\n"));
+        j.push_str("  },\n");
+        j
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"executor_scan\",\n");
@@ -325,6 +435,7 @@ fn main() {
     json.push_str("  ],\n");
     json.push_str(&dr_json);
     json.push_str(&mem_json);
+    json.push_str(&pred_json);
     json.push_str(&format!(
         "  \"speedup_decontended_vs_global_lock_at_8_workers\": {speedup_at_8:.3}\n"
     ));

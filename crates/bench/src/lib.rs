@@ -934,6 +934,184 @@ pub mod exec_skew {
     }
 }
 
+/// Predictive-scheduling A/B: the same concurrent-join workload run with
+/// declared profiles seeded wrong by 2–8× in both directions, scheduled
+/// once trusting the declarations (cold, no predictor) and once with a
+/// shared online [`Predictor`](xprs_scheduler::predict::Predictor) warmed
+/// across repetitions. Over-declared build footprints serialize the
+/// grant-admission queue in declared mode; the predictor learns the real
+/// footprints from observed pages and restores admission concurrency.
+/// Under-declared footprints show up as `footprint_overruns` that must
+/// *decrease* across repetitions as the model warms. The final-rep traces
+/// of both modes are captured so CI can prove at least one scheduling
+/// decision actually differed (no vacuous pass).
+pub mod exec_predict {
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    use xprs_disk::StripedLayout;
+    use xprs_executor::{ExecConfig, Executor, QueryRun, RelBinding};
+    use xprs_optimizer::{Costing, Query, TwoPhaseOptimizer};
+    use xprs_scheduler::adaptive::{AdaptiveConfig, AdaptiveScheduler};
+    use xprs_scheduler::predict::Predictor;
+    use xprs_scheduler::trace::{
+        action_signature, action_stream, parse_jsonl, JsonlSink, SharedSink, TraceRecord,
+    };
+    use xprs_scheduler::{Action, MachineConfig, TaskId};
+    use xprs_storage::{Catalog, Datum, Schema, Tuple, PAGE_SIZE};
+
+    /// Pool frames both modes run with.
+    pub const BUFPOOL_PAGES: usize = 64;
+    /// Concurrent join queries per repetition.
+    pub const N_QUERIES: usize = 4;
+    /// Simulated-vs-wall speedup of the throttled machine (the predictor
+    /// only trains on scaled runs, where elapsed time carries signal).
+    pub const TIME_SPEEDUP: f64 = 20.0;
+    /// Rows per build relation: ~10 tuples/page ⇒ ~16 heap pages, a
+    /// quarter of the pool, so four right-sized builds admit concurrently.
+    pub const BUILD_ROWS: u64 = 160;
+    /// Rows per probe relation.
+    pub const PROBE_ROWS: u64 = 320;
+
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    /// `N_QUERIES` independent build/probe pairs, IO-heavy rows.
+    pub fn catalog(seed: u64) -> Arc<Catalog> {
+        let mut cat = Catalog::new(StripedLayout::new(4));
+        let mut s = seed;
+        for qi in 0..N_QUERIES {
+            for (prefix, n) in [("build", BUILD_ROWS), ("probe", PROBE_ROWS)] {
+                let name = format!("{prefix}_{qi}");
+                cat.create(&name, Schema::paper_rel());
+                let rows: Vec<Tuple> = (0..n)
+                    .map(|_| {
+                        let a = (lcg(&mut s) % 50) as i32;
+                        Tuple::from_values(vec![Datum::Int(a), Datum::Text("x".repeat(800))])
+                    })
+                    .collect();
+                cat.load(&name, rows);
+                cat.build_index(&name, false);
+            }
+        }
+        Arc::new(cat)
+    }
+
+    /// The joins with every declared fragment profile seeded wrong by a
+    /// per-fragment factor in 2..=8: time and rate skewed in opposite
+    /// directions (misclassifying IO-bound work as CPU-bound and vice
+    /// versa), footprints over-declared on most queries (stalling declared-
+    /// mode admission) and under-declared on the last (planting footprint
+    /// overruns the predictor must learn away).
+    pub fn wrong_runs(cat: &Arc<Catalog>, seed: u64) -> Vec<QueryRun> {
+        let optimizer = TwoPhaseOptimizer::paper_default();
+        let mut s = seed ^ 0x5EED;
+        (0..N_QUERIES)
+            .map(|qi| {
+                let build = format!("build_{qi}");
+                let probe = format!("probe_{qi}");
+                let q = Query::join().rel(&build, 1.0).rel(&probe, 1.0).on(0, 1).build();
+                let mut optimized =
+                    optimizer.optimize_catalog(cat, &q, Costing::SeqCost).expect("plan");
+                for f in &mut optimized.fragments.fragments {
+                    let factor = 2.0 + (lcg(&mut s) % 7) as f64; // 2..=8
+                    let p = &mut f.profile;
+                    if lcg(&mut s).is_multiple_of(2) {
+                        p.seq_time *= factor;
+                        p.io_rate /= factor;
+                    } else {
+                        p.seq_time /= factor;
+                        p.io_rate *= factor;
+                    }
+                    if p.memory > 0.0 {
+                        if qi + 1 == N_QUERIES {
+                            p.memory /= factor; // planted overrun
+                        } else {
+                            p.memory *= factor; // stalls declared admission
+                        }
+                    }
+                }
+                QueryRun {
+                    optimized,
+                    bindings: vec![
+                        RelBinding { name: build, pred: (i32::MIN, i32::MAX) },
+                        RelBinding { name: probe, pred: (i32::MIN, i32::MAX) },
+                    ],
+                }
+            })
+            .collect()
+    }
+
+    /// One repetition's observable outcome.
+    #[derive(Debug, Clone)]
+    pub struct PredictRun {
+        /// Wall seconds for the whole repetition.
+        pub wall: f64,
+        /// Join tuples emitted across all queries.
+        pub emitted: u64,
+        /// Fragments whose observed pages exceeded the admitted footprint.
+        pub footprint_overruns: u64,
+        /// Pages granted by the admission ledger.
+        pub granted_pages: u64,
+        /// Pages released back (must equal granted).
+        pub released_pages: u64,
+        /// Fragments that waited in the admission FIFO.
+        pub grant_waits: u64,
+        /// Pages still pinned at exit (must be 0).
+        pub pinned_at_exit: u64,
+        /// Profile substitutions recorded in the trace (0 in declared mode
+        /// and while the model is cold).
+        pub predictions: u64,
+        /// Clock-robust whole-worker schedule signature, for proving the
+        /// two modes actually decided differently.
+        pub signature: Vec<(TaskId, bool, u32)>,
+    }
+
+    /// Run one repetition. `predictor` = None is the declared-mode
+    /// baseline; passing the same `Arc` across repetitions warms the model.
+    pub fn run(cat: &Arc<Catalog>, runs: &[QueryRun], predictor: Option<&Arc<Predictor>>) -> PredictRun {
+        let machine = MachineConfig::paper_default();
+        let mut cfg = ExecConfig::scaled(TIME_SPEEDUP).with_memory_grants().with_obs();
+        cfg.bufpool_pages = BUFPOOL_PAGES;
+        if let Some(p) = predictor {
+            cfg = cfg.with_predictor(p.clone());
+        }
+        let sink = Arc::new(Mutex::new(JsonlSink::new(Vec::<u8>::new())));
+        let shared: SharedSink = sink.clone();
+        let mut policy = AdaptiveScheduler::new(AdaptiveConfig::with_adjustment(machine.clone()));
+        let t0 = Instant::now();
+        let report = Executor::new(cfg, cat.clone())
+            .with_trace(shared)
+            .run(runs, &mut policy)
+            .expect("predictive A/B run failed");
+        let wall = t0.elapsed().as_secs_f64();
+        let Ok(cell) = Arc::try_unwrap(sink) else { unreachable!("sink still shared") };
+        let text = String::from_utf8(cell.into_inner().unwrap().into_inner()).unwrap();
+        let records = parse_jsonl(&text).expect("well-formed trace");
+        let actions: Vec<(f64, Action)> = action_stream(&records);
+        PredictRun {
+            wall,
+            emitted: report.results.iter().map(|r| r.rows.rows.len() as u64).sum(),
+            footprint_overruns: report.footprint_overruns,
+            granted_pages: report.mem_granted_pages,
+            released_pages: report.mem_released_pages,
+            grant_waits: report.mem_grant_waits,
+            pinned_at_exit: report.pool_pinned_at_exit,
+            predictions: records
+                .iter()
+                .filter(|r| matches!(r, TraceRecord::Predict { .. }))
+                .count() as u64,
+            signature: action_signature(&actions, machine.n_procs),
+        }
+    }
+
+    /// Bytes-per-page constant re-exported so the binary can build the
+    /// shared predictor with the pool's real page size.
+    pub const PAGE_BYTES: u64 = PAGE_SIZE as u64;
+}
+
 /// The host facts every `BENCH_*.json` header records so scaling numbers
 /// are interpretable across machines: the host's available parallelism,
 /// the simulated machine's processor count (= persistent-pool staffing

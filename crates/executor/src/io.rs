@@ -165,6 +165,12 @@ pub struct Machine {
     cpu_busy: TimeSum,
     reads: AtomicU64,
     worker_ids: AtomicU64,
+    /// Executor runs currently driving this machine. Always 1 for a
+    /// private machine; a shared [`ExecSession`](crate::session) carries
+    /// every concurrent tenant here. The patrol reads it to attribute
+    /// observed service-rate loss to cross-run disk contention before
+    /// treating the residue as machine-model drift.
+    active_runs: AtomicU64,
     /// Attempts per read before escalating ([`READ_ATTEMPTS`] by default).
     read_attempts: u32,
     /// First-retry backoff in simulated seconds ([`RETRY_BACKOFF`] default).
@@ -207,9 +213,27 @@ impl Machine {
             cpu_busy: TimeSum::new(),
             reads: AtomicU64::new(0),
             worker_ids: AtomicU64::new(0),
+            active_runs: AtomicU64::new(0),
             read_attempts: READ_ATTEMPTS,
             retry_backoff: RETRY_BACKOFF,
         }
+    }
+
+    /// Note one executor run starting on this machine (paired with
+    /// [`Machine::run_finished`]; the master holds the pair as a guard so
+    /// every exit path decrements).
+    pub fn run_started(&self) {
+        self.active_runs.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Note one executor run leaving this machine.
+    pub fn run_finished(&self) {
+        self.active_runs.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Executor runs currently sharing this machine's disks.
+    pub fn active_runs(&self) -> u64 {
+        self.active_runs.load(Ordering::SeqCst)
     }
 
     /// Override the bounded-retry envelope: `attempts` reads total per page

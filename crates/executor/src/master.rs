@@ -22,6 +22,7 @@ use xprs_optimizer::OptimizedQuery;
 use xprs_scheduler::error::SchedError;
 use xprs_scheduler::fluid::FIXPOINT_ROUNDS;
 use xprs_scheduler::policy::{Action, RunningTask, SchedulePolicy};
+use xprs_scheduler::predict::{Observation, PredictKey, Predictor};
 use xprs_scheduler::trace::{emit, RunningSnap, SharedSink, TraceRecord};
 use xprs_scheduler::{MachineConfig, TaskId, TaskProfile};
 use xprs_storage::partition::{PagePartition, RangePartition};
@@ -177,6 +178,15 @@ pub struct ExecConfig {
     /// Simulated seconds of backoff before the first read retry, doubling
     /// per retry ([`crate::io::RETRY_BACKOFF`] default).
     pub retry_backoff: f64,
+    /// Online profile predictor. When attached, the master substitutes
+    /// predicted `seq_time`/`io_rate`/memory for the optimizer's declared
+    /// values at every fragment announcement (cold keys fall back to the
+    /// declared prior), emits each substitution as
+    /// [`TraceRecord::Predict`], and feeds finished fragments' measured
+    /// profiles back into the model. Share one `Arc` across repeated runs
+    /// so the model warms; `None` (the default) schedules purely on
+    /// declared profiles — the A/B baseline.
+    pub predictor: Option<Arc<Predictor>>,
 }
 
 impl ExecConfig {
@@ -206,6 +216,7 @@ impl ExecConfig {
             spill: true,
             read_attempts: crate::io::READ_ATTEMPTS,
             retry_backoff: crate::io::RETRY_BACKOFF,
+            predictor: None,
         }
     }
 
@@ -278,6 +289,16 @@ impl ExecConfig {
         assert!(backoff >= 0.0 && backoff.is_finite(), "invalid retry backoff {backoff}");
         self.read_attempts = attempts;
         self.retry_backoff = backoff;
+        self
+    }
+
+    /// Attach an online profile predictor: announcements consume predicted
+    /// rather than declared profiles once the predictor has observations
+    /// for the fragment's (plan-shape, size-bucket) key, and completions
+    /// train it. Pass the same `Arc` to successive executors so repeated
+    /// plan shapes converge.
+    pub fn with_predictor(mut self, predictor: Arc<Predictor>) -> Self {
+        self.predictor = Some(predictor);
         self
     }
 
@@ -701,6 +722,20 @@ struct FragSlot {
     /// included, re-reads after eviction included) — the observed
     /// footprint compared against the declared one at completion.
     observed_pages: u64,
+    /// The optimizer's profile as declared, before any predictor
+    /// substitution — the cold-start prior and the baseline every
+    /// observation is normalized against. `profile` above is what the
+    /// policy and admission actually consume (predicted, when a warm
+    /// model exists).
+    declared: TaskProfile,
+    /// Fragments running when this one was announced — the interference
+    /// regressor, captured at the same point the prediction was queried so
+    /// training and inference see the same covariate.
+    co_runners: u32,
+    /// Patrol recovery count when the fragment was announced; a delta at
+    /// completion means a worker died mid-run and the measured profile is
+    /// truncated/distorted — it must not train the predictor.
+    recoveries_at_start: u64,
 }
 
 /// The master's admission ledger: the FIFO of fragments decided-but-waiting
@@ -876,6 +911,18 @@ impl Executor {
             (None, None) => unreachable!("owned machine xor session"),
         };
         let backends = Backends::new(pool, shared);
+        // Count this run against the machine for the patrol's cross-run
+        // contention attribution; the guard decrements on *every* exit
+        // path (a leak would permanently inflate the shared session's
+        // interference factor).
+        struct RunGuard<'a>(&'a Machine);
+        impl Drop for RunGuard<'_> {
+            fn drop(&mut self) {
+                self.0.run_finished();
+            }
+        }
+        machine.run_started();
+        let _run_guard = RunGuard(&machine);
         let (tx, rx) = channel::<MasterMsg>();
         let t0 = Instant::now();
 
@@ -910,6 +957,7 @@ impl Executor {
                 let mut profile = fs.fragments[fi].profile.clone();
                 profile.id = TaskId((qi as u64) << 32 | fi as u64);
                 frags.push(FragSlot {
+                    declared: profile.clone(),
                     profile,
                     local_deps: program.deps.clone(),
                     deps: program.deps.iter().map(|d| base + d).collect(),
@@ -931,6 +979,8 @@ impl Executor {
                     spill_chunks: 0,
                     spill_rows: 0,
                     observed_pages: 0,
+                    co_runners: 0,
+                    recoveries_at_start: 0,
                 });
             }
         }
@@ -964,14 +1014,19 @@ impl Executor {
             exec
         };
 
-        // Announce the roots of every query.
+        // Announce the roots of every query. Nothing is running yet, so
+        // the prediction's interference covariate is zero for every root.
         let now = |t0: Instant| t0.elapsed().as_secs_f64();
-        for f in frags.iter_mut().filter(|f| f.deps.is_empty()) {
-            f.status = FragStatus::Ready;
+        for i in 0..frags.len() {
+            if !frags[i].deps.is_empty() {
+                continue;
+            }
+            frags[i].status = FragStatus::Ready;
             let t = now(t0);
-            let profile = f.profile.clone();
+            self.apply_prediction(&mut frags, i, t, 0, &metrics);
+            let profile = frags[i].profile.clone();
             emit(&self.sink, || TraceRecord::Arrival { now: t, profile: profile.clone() });
-            policy.on_arrival(t, f.profile.clone());
+            policy.on_arrival(t, frags[i].profile.clone());
         }
         // Utilization samples bracket every window during which the set of
         // running fragments — the pairing — was constant: one sample after
@@ -1159,6 +1214,30 @@ impl Executor {
                 frags[gid].spill_rows = spec.rows.load(Ordering::Relaxed);
             }
             frags[gid].observed_pages = ctx.pages_read.load(Ordering::Relaxed);
+            // Train the predictor on the measured profile. Wall seconds
+            // convert to simulated seconds through the time scale, so
+            // realized quantities are in the same units the optimizer
+            // declares; unthrottled runs (`scale == 0`) carry no timing
+            // signal and are skipped. Cancelled or worker-death-truncated
+            // runs are reported truncated so they never train the model.
+            if let Some(pred) = &self.cfg.predictor {
+                if self.cfg.scale > 0.0 {
+                    let sim_elapsed = (t_done - frags[gid].started_at) / self.cfg.scale;
+                    let x = ctx.target_parallelism.load(Ordering::Relaxed).max(1) as f64;
+                    pred.observe(
+                        self.predict_key(&frags[gid]),
+                        &Observation {
+                            declared_seq_time: frags[gid].declared.seq_time,
+                            declared_io_rate: frags[gid].declared.io_rate,
+                            realized_seq_time: sim_elapsed * x,
+                            observed_pages: frags[gid].observed_pages as f64,
+                            co_runners: frags[gid].co_runners,
+                            truncated: was_cancelled
+                                || patrol.recoveries > frags[gid].recoveries_at_start,
+                        },
+                    );
+                }
+            }
             // Observed-vs-declared footprint: detection only. The observed
             // count includes pool hits and re-reads after eviction, so it
             // is an upper bound that disk-resident scans overrun
@@ -1203,11 +1282,15 @@ impl Executor {
             policy.on_finish(t_done, finished);
 
             // Promote consumers whose producers are now all done.
+            let running_now =
+                frags.iter().filter(|f| matches!(f.status, FragStatus::Running(_))).count() as u32;
             for i in 0..frags.len() {
                 if matches!(frags[i].status, FragStatus::Blocked)
                     && frags[i].deps.iter().all(|&d| matches!(frags[d].status, FragStatus::Done))
                 {
                     frags[i].status = FragStatus::Ready;
+                    frags[i].recoveries_at_start = patrol.recoveries;
+                    self.apply_prediction(&mut frags, i, t_done, running_now, &metrics);
                     let profile = frags[i].profile.clone();
                     emit(&self.sink, || TraceRecord::Arrival {
                         now: t_done,
@@ -1578,6 +1661,97 @@ impl Executor {
             }
         }
         Err(SchedError::FixpointDiverged { policy: policy.name(), rounds: FIXPOINT_ROUNDS }.into())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    /// The predictor key of a fragment: a process-stable hash of its
+    /// operator shape (driver, pipeline ops, producer count, root flag)
+    /// plus a log2 bucket of the heap pages its driver reads — so a model
+    /// trained on a 100-page scan is never applied to a 100k-page one,
+    /// while repetitions of the same plan shape over same-magnitude
+    /// relations share their history.
+    fn predict_key(&self, f: &FragSlot) -> PredictKey {
+        // FNV-1a over explicit shape codes. `mem::discriminant` hashes are
+        // not guaranteed stable across builds; these codes are.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let (driver_code, driver_rel) = match f.program.driver {
+            Driver::PageScan { rel } => (1u64, Some(rel)),
+            Driver::KeyScan { rel } => (2, Some(rel)),
+            Driver::KeyDomain => (3, None),
+        };
+        mix(driver_code);
+        for op in &f.program.ops {
+            mix(match op {
+                PipelineOp::ProbeHash { .. } => 11,
+                PipelineOp::MergeWith { .. } => 12,
+                PipelineOp::NestInner { .. } => 13,
+                PipelineOp::MergeIndexed { .. } => 14,
+            });
+        }
+        mix(f.deps.len() as u64);
+        mix(u64::from(f.is_root));
+        // Pages behind the driver: the scanned relation for page/key
+        // scans; for a key-domain walk (inputs all materialized) the
+        // query's whole heap footprint stands in as the scale proxy.
+        let heap_pages = |rel: usize| {
+            f.bindings
+                .get(rel)
+                .and_then(|b| self.catalog.get(&b.name))
+                .map_or(0, |r| r.heap.n_blocks())
+        };
+        let total_pages = match driver_rel {
+            Some(rel) => heap_pages(rel),
+            None => (0..f.bindings.len()).map(heap_pages).sum(),
+        };
+        PredictKey::new(h, total_pages)
+    }
+
+    /// Substitute the predicted profile for the declared one before
+    /// `frags[i]` is announced to the policy, when a predictor is attached
+    /// and its model for the fragment's key is warm. `co_runners` — the
+    /// fragments running at announcement — is the interference covariate,
+    /// and is remembered on the slot so the completion-time observation
+    /// trains the regression at the same point it was queried.
+    fn apply_prediction(
+        &self,
+        frags: &mut [FragSlot],
+        i: usize,
+        now: f64,
+        co_runners: u32,
+        metrics: &Option<Arc<ExecMetrics>>,
+    ) {
+        frags[i].co_runners = co_runners;
+        let Some(pred) = &self.cfg.predictor else { return };
+        let p = pred.predict(self.predict_key(&frags[i]), &frags[i].declared, co_runners);
+        if let Some(m) = metrics {
+            if p.from_model {
+                m.predictions.inc();
+            } else {
+                m.prediction_fallbacks.inc();
+            }
+        }
+        if !p.from_model {
+            return; // cold start / degenerate model: declared prior stands
+        }
+        let d = &frags[i].declared;
+        let prof = &p.profile;
+        emit(&self.sink, || TraceRecord::Predict {
+            now,
+            task: d.id,
+            declared_seq_time: d.seq_time,
+            declared_io_rate: d.io_rate,
+            declared_memory: d.memory,
+            predicted_seq_time: prof.seq_time,
+            predicted_io_rate: prof.io_rate,
+            predicted_memory: prof.memory,
+            co_runners,
+            observations: p.observations,
+        });
+        frags[i].profile = p.profile;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -2144,6 +2318,12 @@ fn next_msg(rx: &Receiver<MasterMsg>, deadline: Option<Instant>) -> Result<Optio
     }
 }
 
+/// Largest fractional change one recalibration window may apply to the
+/// machine model's bandwidths. A real sustained slowdown converges over a
+/// few windows; a single noisy window cannot slam the model far enough to
+/// destabilise the balance-point fixpoint.
+const MAX_RECAL_STEP: f64 = 0.3;
+
 /// The master's self-healing patrol: dead-worker detection plus
 /// degradation-aware recalibration, run on quiet ticks of the message loop.
 struct Patrol {
@@ -2263,14 +2443,38 @@ impl Patrol {
         }
         let observed = count as f64 / busy;
         let nominal = [self.model.seq_bw, self.model.almost_seq_bw, self.model.random_bw][class];
-        let ratio = observed / nominal;
-        if !ratio.is_finite() || (ratio - 1.0).abs() <= self.band {
+        let raw = observed / nominal;
+        if !raw.is_finite() {
             return None;
         }
+        // Attribute cross-run contention before testing for drift: with k
+        // runs interleaving their streams on the shared disks, each
+        // request's busy time can stretch by up to the interference
+        // factor, so the true machine rate lies in `[raw, raw·k]`.
+        // Contention only ever *slows* a run, so the attribution is
+        // one-sided: blame co-runners for as much of a shortfall as the
+        // factor can explain (never pushing past nominal, and never
+        // inflating a healthy reading) and treat only the unexplained
+        // remainder as drift. Without this, every tenant of a shared
+        // session "measures" a slow machine, rescales the model downward,
+        // and the next window swings it back — the §15.4 wedge.
+        let runs = machine.active_runs().min(u32::MAX as u64) as u32;
+        let factor = xprs_scheduler::estimate::interference_factor(runs.max(1));
+        let ratio = if raw < 1.0 { (raw * factor).min(1.0) } else { raw };
+        if (ratio - 1.0).abs() <= self.band {
+            return None;
+        }
+        // Clamp the per-step correction: a sustained real slowdown still
+        // converges (each window moves the model up to MAX_RECAL_STEP
+        // closer), but one noisy window can no longer slam the rates by an
+        // order of magnitude — which is what drove the balance-point
+        // fixpoint into `SchedError::FixpointDiverged` when consecutive
+        // windows disagreed.
+        let step = ratio.clamp(1.0 - MAX_RECAL_STEP, 1.0 + MAX_RECAL_STEP);
         let mut corrected = self.model.clone();
-        corrected.seq_bw *= ratio;
-        corrected.almost_seq_bw *= ratio;
-        corrected.random_bw *= ratio;
+        corrected.seq_bw *= step;
+        corrected.almost_seq_bw *= step;
+        corrected.random_bw *= step;
         Some(corrected)
     }
 }

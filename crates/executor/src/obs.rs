@@ -94,6 +94,13 @@ pub struct ExecMetrics {
     /// Detection only — nothing is throttled or failed; the counter makes
     /// estimate drift visible to the service operator.
     pub mem_overruns: Counter,
+    /// Fragment announcements whose declared profile was replaced by a
+    /// warm predictor model ([`xprs_scheduler::predict`]) before the
+    /// policy saw it — the prediction layer provably driving decisions.
+    pub predictions: Counter,
+    /// Announcements a predictor was attached for but fell back to the
+    /// declared prior (cold key, too few observations, degenerate model).
+    pub prediction_fallbacks: Counter,
 }
 
 /// How one fragment's output was materialized.
@@ -488,6 +495,7 @@ impl ExecReport {
              \"memory\":{{\"granted_pages\":{},\"released_pages\":{},\"grant_waits\":{},\
              \"spill_chunks\":{},\"spill_rows\":{},\"pinned_at_exit\":{},\
              \"footprint_overruns\":{}}},\
+             \"predict\":{{\"substitutions\":{},\"fallbacks\":{}}},\
              \"gate_wait_ns\":{},\"io\":{},\"merge\":{},\"morsel\":{},\
              \"queries\":[{}],\"utilization_audit\":{}}}",
             jstr("xprs-metrics/1"),
@@ -518,6 +526,8 @@ impl ExecReport {
             self.spill_rows,
             self.pool_pinned_at_exit,
             self.footprint_overruns,
+            self.metrics.as_ref().map_or(0, |m| m.predictions.get()),
+            self.metrics.as_ref().map_or(0, |m| m.prediction_fallbacks.get()),
             gate,
             io,
             merge_hist,

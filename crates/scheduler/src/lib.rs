@@ -61,6 +61,7 @@ pub mod intra;
 pub mod machine;
 pub mod pairing;
 pub mod policy;
+pub mod predict;
 pub mod task;
 pub mod trace;
 
@@ -73,6 +74,7 @@ pub use intra::IntraOnly;
 pub use machine::MachineConfig;
 pub use pairing::Pairing;
 pub use policy::{Action, RunningTask, SchedulePolicy};
+pub use predict::{Observation, PredictKey, Prediction, Predictor};
 pub use task::{Boundedness, IoKind, TaskId, TaskProfile};
 pub use trace::{
     JsonlSink, NullSink, RingSink, RunningSnap, SharedSink, TraceRecord, TraceSink,

@@ -160,6 +160,34 @@ pub enum TraceRecord {
         /// The corrected machine handed to [`SchedulePolicy::recalibrate`].
         machine: MachineConfig,
     },
+    /// The driver substituted a predicted profile for the declared one
+    /// before announcing the task to the policy ([`crate::predict`]). The
+    /// accompanying [`TraceRecord::Arrival`] carries the *substituted*
+    /// profile (so replay sees what the policy saw); this record preserves
+    /// the declared prior and the model provenance for scoring predicted
+    /// vs realized schedules.
+    Predict {
+        /// Driver clock at substitution.
+        now: f64,
+        /// The task whose profile was substituted.
+        task: TaskId,
+        /// Declared (optimizer) `T_i`, seconds.
+        declared_seq_time: f64,
+        /// Declared `C_i`, I/Os per second.
+        declared_io_rate: f64,
+        /// Declared memory footprint, bytes.
+        declared_memory: f64,
+        /// Predicted `T_i` the scheduler consumed.
+        predicted_seq_time: f64,
+        /// Predicted `C_i` the scheduler consumed.
+        predicted_io_rate: f64,
+        /// Predicted memory footprint the admission path consumed.
+        predicted_memory: f64,
+        /// Co-runner count fed to the interference term.
+        co_runners: u32,
+        /// Observations behind the model (0 ⇒ declared fallback).
+        observations: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +489,34 @@ impl TraceRecord {
                 fnum(*modeled_b),
                 machine_json(machine),
             ),
+            TraceRecord::Predict {
+                now,
+                task,
+                declared_seq_time,
+                declared_io_rate,
+                declared_memory,
+                predicted_seq_time,
+                predicted_io_rate,
+                predicted_memory,
+                co_runners,
+                observations,
+            } => format!(
+                "{{\"type\":\"predict\",\"now\":{},\"task\":{},\
+                 \"declared_seq_time\":{},\"declared_io_rate\":{},\
+                 \"declared_memory\":{},\"predicted_seq_time\":{},\
+                 \"predicted_io_rate\":{},\"predicted_memory\":{},\
+                 \"co_runners\":{},\"observations\":{}}}",
+                fnum(*now),
+                task.0,
+                fnum(*declared_seq_time),
+                fnum(*declared_io_rate),
+                fnum(*declared_memory),
+                fnum(*predicted_seq_time),
+                fnum(*predicted_io_rate),
+                fnum(*predicted_memory),
+                co_runners,
+                observations,
+            ),
         }
     }
 }
@@ -630,6 +686,18 @@ impl TraceRecord {
                 observed_b: fnum_of(&v, "observed_b", line)?,
                 modeled_b: fnum_of(&v, "modeled_b", line)?,
                 machine: machine_of(&v, "machine", line)?,
+            }),
+            "predict" => Ok(TraceRecord::Predict {
+                now: fnum_of(&v, "now", line)?,
+                task: id_of(&v, "task", line)?,
+                declared_seq_time: fnum_of(&v, "declared_seq_time", line)?,
+                declared_io_rate: fnum_of(&v, "declared_io_rate", line)?,
+                declared_memory: fnum_of(&v, "declared_memory", line)?,
+                predicted_seq_time: fnum_of(&v, "predicted_seq_time", line)?,
+                predicted_io_rate: fnum_of(&v, "predicted_io_rate", line)?,
+                predicted_memory: fnum_of(&v, "predicted_memory", line)?,
+                co_runners: fnum_of(&v, "co_runners", line)? as u32,
+                observations: fnum_of(&v, "observations", line)? as u64,
             }),
             other => Err(malformed(line, format!("unknown record type {other:?}"))),
         }
@@ -866,6 +934,18 @@ mod tests {
                 observed_b: 150.5,
                 modeled_b: 240.0,
                 machine: MachineConfig::paper_default(),
+            },
+            TraceRecord::Predict {
+                now: 5.0,
+                task: TaskId(3),
+                declared_seq_time: 10.0,
+                declared_io_rate: 20.0,
+                declared_memory: 524288.0,
+                predicted_seq_time: 41.5,
+                predicted_io_rate: 9.75,
+                predicted_memory: 3276800.0,
+                co_runners: 3,
+                observations: 6,
             },
         ]
     }

@@ -62,12 +62,15 @@ impl ServiceConfig {
     /// and dead-worker recovery).
     pub fn quick() -> Self {
         let mut exec = ExecConfig::unthrottled().with_memory_grants().with_patrol(2, 3);
-        // Per-run recalibration misreads a *shared* machine: each run
-        // observes only its slice of the disks, so the apparent rate is
-        // dominated by cross-run contention, and correcting the model on
-        // it destabilizes the policy. A service copes with degradation
-        // through deadlines and shedding instead.
-        exec.recal_band = 0.0;
+        // Recalibration is safe under a shared machine now that the patrol
+        // attributes cross-run contention (the interference factor scales
+        // the observed rate by the number of active runs before the drift
+        // test) and clamps each correction step, so one noisy per-run
+        // window can no longer destabilize the balance-point fixpoint
+        // (DESIGN.md §15.4). The wide band keeps recalibration reserved
+        // for genuine sustained degradation; deadlines and shedding still
+        // handle ordinary load.
+        exec.recal_band = 0.5;
         ServiceConfig {
             queue_cap: 16,
             max_concurrent: 2,

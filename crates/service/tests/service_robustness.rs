@@ -240,14 +240,16 @@ fn service_degrades_gracefully_under_worker_death_and_disk_slowdown() {
     let plan = Arc::new(
         FaultPlan::new().with_worker_death(0, 0, 3).with_slowdown(0, 20, 4.0),
     );
-    let mut exec = ExecConfig::unthrottled()
+    let exec = ExecConfig::unthrottled()
         .with_memory_grants()
         .with_faults(plan.clone())
-        .with_patrol(2, 3);
-    // Recalibration off: under a shared session each run sees only its
-    // slice of the disks, so "observed" rates measure cross-run
-    // contention and the corrected model can destabilize the policy.
-    exec.recal_band = 0.0;
+        .with_patrol(2, 3)
+        // Recalibration stays ON under the shared session: the patrol now
+        // divides the observed slowdown by the cross-run interference
+        // factor and clamps each correction step, so concurrent runs must
+        // not wedge the policy into FixpointDiverged (every Failed
+        // outcome below is a regression of that fix).
+        .with_recalibration(0.5);
     let cfg = ServiceConfig {
         queue_cap: 32,
         max_concurrent: 2,

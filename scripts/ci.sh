@@ -104,6 +104,57 @@ print(f"memory OK: parity, ledger {grants['granted_pages']} granted=released, "
       f"overhead={m['overhead_vs_reference']}x")
 EOF
 
+# Predictive leg: the declared-vs-predicted A/B. With declarations seeded
+# wrong by 2-8x, the warm predicted mode must beat declared mode on wall
+# time, footprint overruns must decrease as the model warms (the measured
+# pages feed back into admission demand), ledgers must balance with zero
+# pins in both modes, the predictor must actually substitute profiles, and
+# the two modes' final-rep schedules must provably differ — a bench where
+# prediction changed nothing passes no gate. Malformed JSON fails the leg.
+echo "==> predict gate (predictive section of BENCH_executor.json)"
+python3 - <<'EOF'
+import json, sys
+try:
+    with open("BENCH_executor.json") as f:
+        r = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"BENCH_executor.json unreadable or malformed: {e}")
+try:
+    p = r["predictive"]
+    reps = p["reps"]
+    declared = [c for c in reps if c["mode"] == "declared"]
+    predicted = [c for c in reps if c["mode"] == "predicted"]
+except KeyError as e:
+    sys.exit(f"BENCH_executor.json missing predictive field: {e}")
+if len(declared) != p["reps_per_mode"] or len(predicted) != p["reps_per_mode"]:
+    sys.exit(f"predictive sweep incomplete: {len(declared)} declared, "
+             f"{len(predicted)} predicted of {p['reps_per_mode']}")
+for c in reps:
+    if c["emitted"] <= 0:
+        sys.exit(f"vacuous predictive rep: {c}")
+    if c["granted_pages"] != c["released_pages"]:
+        sys.exit(f"grant ledger out of balance: {c}")
+    if c["pinned_at_exit"] != 0:
+        sys.exit(f"{c['pinned_at_exit']} pages pinned at exit: {c}")
+if {c["emitted"] for c in reps} != {declared[0]["emitted"]}:
+    sys.exit("prediction changed a join answer (emitted rows differ)")
+if not p["predicted_beats_declared"]:
+    sys.exit(f"predicted mode lost to declared: "
+             f"{p['predicted_wall_seconds']}s vs {p['declared_wall_seconds']}s")
+if predicted[-1]["predictions"] == 0:
+    sys.exit("warm predictor never substituted a profile")
+first, last = p["overruns_first_rep"], p["overruns_last_rep"]
+if not (first > last or last == 0):
+    sys.exit(f"footprint overruns did not decrease as the model warmed: "
+             f"{first} -> {last}")
+if not p["decisions_differ"]:
+    sys.exit("declared and predicted modes made identical decisions: "
+             "the prediction layer changed nothing")
+print(f"predict OK: {p['speedup_predicted_over_declared']}x speedup over "
+      f"declared, overruns {first}->{last}, "
+      f"{predicted[-1]['predictions']} substitutions, decisions differ")
+EOF
+
 echo "==> bench_join (writes BENCH_join.json)"
 ./target/release/bench_join BENCH_join.json
 # The JSON must parse, and the rebuilt materialization path (sorted worker
@@ -277,6 +328,12 @@ EOF
 echo "==> cancel (cancellation suite, fixed seeds, debug + release)"
 PROPTEST_SEED=7 cargo test -q -p xprs-executor --offline --test cancel_proptest
 PROPTEST_SEED=7 cargo test -q -p xprs-executor --release --offline --test cancel_proptest
+
+echo "==> predict (prediction suite, fixed seed, release)"
+# Convergence of 4x-wrong declarations, trace replay with predict records,
+# and the purity property (prediction is a bit-exact function of the
+# observation stream) under a pinned seed.
+PROPTEST_SEED=7 cargo test -q -p xprs-executor --release --offline --test predict_exec
 
 echo "==> chaos (fault-injection suite, fixed seeds, debug + release)"
 # The workspace legs above already run the chaos tests under proptest's
